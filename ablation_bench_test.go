@@ -1,0 +1,158 @@
+// Ablation benchmarks for the design decisions DESIGN.md §6 calls out:
+// each compares the paper's default behaviour against a variant this
+// implementation adds, reporting accuracy and probe cost side by side.
+package dhsketch_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dhsketch/internal/chord"
+	"dhsketch/internal/core"
+	"dhsketch/internal/sim"
+	"dhsketch/internal/sketch"
+)
+
+// ablationRun builds a fresh overlay, inserts n items, and counts with
+// the given config, returning |relative error| and the counting cost.
+func ablationRun(b *testing.B, seed uint64, nodes, n int, cfg core.Config, adaptive bool) (float64, core.CountCost) {
+	b.Helper()
+	env := sim.NewEnv(seed)
+	ring := chord.New(env, nodes)
+	cfg.Overlay = ring
+	cfg.Env = env
+	d, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	metric := core.MetricID("ablation")
+	for i := 0; i < n; i++ {
+		if _, err := d.Insert(metric, core.ItemID(fmt.Sprintf("ab-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var est core.Estimate
+	if adaptive {
+		est, err = d.CountAdaptive(metric, 0.99)
+	} else {
+		est, err = d.Count(metric)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return math.Abs(est.Value-float64(n)) / float64(n), est.Cost
+}
+
+// BenchmarkAblationTrimmedScan compares Algorithm 1's full-bitmap scan
+// (the paper probes bit positions that cannot be set when m > 1) against
+// the trimmed scan starting at k − log₂(m).
+func BenchmarkAblationTrimmedScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := core.Config{M: 128, Kind: sketch.KindSuperLogLog}
+		errFull, costFull := ablationRun(b, 1, 256, 100000, base, false)
+		trimmed := base
+		trimmed.TrimmedScan = true
+		errTrim, costTrim := ablationRun(b, 1, 256, 100000, trimmed, false)
+		b.ReportMetric(float64(costFull.NodesVisited), "full-visited")
+		b.ReportMetric(float64(costTrim.NodesVisited), "trimmed-visited")
+		b.ReportMetric(100*errFull, "full-err%")
+		b.ReportMetric(100*errTrim, "trimmed-err%")
+	}
+}
+
+// BenchmarkAblationEdgeAware compares the blind successor retry walk of
+// Algorithm 1 against the boundary-aware walk that also descends to
+// predecessors — the variant that rescues sparse-interval bits.
+func BenchmarkAblationEdgeAware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// α ≈ 0.6: sparse enough that walk policy matters.
+		base := core.Config{M: 128, Kind: sketch.KindPCSA}
+		errBlind, costBlind := ablationRun(b, 2, 256, 20000, base, false)
+		aware := base
+		aware.EdgeAware = true
+		errAware, costAware := ablationRun(b, 2, 256, 20000, aware, false)
+		b.ReportMetric(100*errBlind, "blind-err%")
+		b.ReportMetric(100*errAware, "aware-err%")
+		b.ReportMetric(float64(costBlind.NodesVisited), "blind-visited")
+		b.ReportMetric(float64(costAware.NodesVisited), "aware-visited")
+	}
+}
+
+// BenchmarkAblationAdaptiveLim compares the constant lim = 5 against the
+// two-phase eq. 6 budget in the degraded α < 1 regime.
+func BenchmarkAblationAdaptiveLim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.Config{M: 128, Kind: sketch.KindSuperLogLog}
+		errConst, costConst := ablationRun(b, 3, 256, 20000, cfg, false)
+		errAdapt, costAdapt := ablationRun(b, 3, 256, 20000, cfg, true)
+		b.ReportMetric(100*errConst, "lim5-err%")
+		b.ReportMetric(100*errAdapt, "adaptive-err%")
+		b.ReportMetric(float64(costConst.NodesVisited), "lim5-visited")
+		b.ReportMetric(float64(costAdapt.NodesVisited), "adaptive-visited")
+	}
+}
+
+// BenchmarkAblationTruncation compares super-LogLog's θ₀ = 0.7
+// truncation against plain LogLog on identical distributed state.
+func BenchmarkAblationTruncation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sll := core.Config{M: 128, Kind: sketch.KindSuperLogLog}
+		ll := core.Config{M: 128, Kind: sketch.KindLogLog}
+		errS, _ := ablationRun(b, 4, 128, 100000, sll, false)
+		errL, _ := ablationRun(b, 4, 128, 100000, ll, false)
+		b.ReportMetric(100*errS, "sLL-err%")
+		b.ReportMetric(100*errL, "LogLog-err%")
+	}
+}
+
+// BenchmarkAblationBulkInsert compares per-item insertion against the
+// bulk optimization on lookup count and the resulting counting accuracy
+// when only a few nodes bulk-insert (the concentration caveat).
+func BenchmarkAblationBulkInsert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv(5)
+		ring := chord.New(env, 128)
+		d, err := core.New(core.Config{Overlay: ring, Env: env, M: 16, Kind: sketch.KindSuperLogLog})
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric := core.MetricID("bulk-ablation")
+		ids := make([]uint64, 50000)
+		for j := range ids {
+			ids[j] = core.ItemID(fmt.Sprintf("blk-%d", j))
+		}
+		// Per-item from random sources.
+		var itemLookups int
+		for _, id := range ids {
+			c, err := d.Insert(metric, id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			itemLookups += c.Lookups
+		}
+		// Bulk of the same items from 8 sources under another metric.
+		metric2 := core.MetricID("bulk-ablation-2")
+		var bulkLookups int
+		per := len(ids) / 8
+		for s := 0; s < 8; s++ {
+			c, err := d.BulkInsertFrom(ring.Nodes()[s*10], metric2, ids[s*per:(s+1)*per])
+			if err != nil {
+				b.Fatal(err)
+			}
+			bulkLookups += c.Lookups
+		}
+		e1, err := d.Count(metric)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e2, err := d.Count(metric2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(itemLookups), "item-lookups")
+		b.ReportMetric(float64(bulkLookups), "bulk-lookups")
+		b.ReportMetric(100*math.Abs(e1.Value-50000)/50000, "item-err%")
+		b.ReportMetric(100*math.Abs(e2.Value-50000)/50000, "bulk8src-err%")
+	}
+}

@@ -1,0 +1,243 @@
+// Benchmarks regenerating the paper's evaluation — one per table/figure,
+// per the DESIGN.md experiment index. Each benchmark runs the
+// corresponding experiment driver at a reduced-but-faithful configuration
+// (smaller overlay and scaled relations, same α = n/(m·N) regime where
+// accuracy is concerned) and reports the headline quantities as custom
+// benchmark metrics. Paper-fidelity runs: `go run ./cmd/dhsbench -scale 10`.
+package dhsketch_test
+
+import (
+	"testing"
+
+	"dhsketch/internal/experiments"
+)
+
+// benchParams keeps every benchmark iteration around a second.
+func benchParams() experiments.Params {
+	return experiments.Params{
+		Seed:   1,
+		Nodes:  256,
+		Scale:  200, // Q..T = 50k..400k tuples
+		M:      64,  // α(Q) = 50000/(64·256) ≈ 3: guaranteed regime
+		Trials: 5,
+	}
+}
+
+// BenchmarkE1Insertion regenerates §5.2 "Insertions and Maintenance":
+// per-insertion hops/bytes and per-node storage.
+func BenchmarkE1Insertion(b *testing.B) {
+	p := benchParams()
+	p.Buckets = 100
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE1(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgHopsPerInsert, "hops/insert")
+		b.ReportMetric(res.AvgBytesPerInsert, "bytes/insert")
+		b.ReportMetric(res.StoragePerNodeMean/1024, "kB-storage/node")
+	}
+}
+
+// BenchmarkE2CountingTable2 regenerates Table 2: counting cost and error
+// versus the number of bitmaps, sLL and PCSA.
+func BenchmarkE2CountingTable2(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE2(p, []int{32, 64, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.SLL.AvgVisited(), "sLL-visited")
+		b.ReportMetric(last.SLL.AvgHops(), "sLL-hops")
+		b.ReportMetric(100*last.SLL.AvgErr(), "sLL-err%")
+		b.ReportMetric(100*last.PCSA.AvgErr(), "PCSA-err%")
+	}
+}
+
+// BenchmarkE3Scalability regenerates the §5.2 scalability figure
+// (omitted in the paper): counting hops versus overlay size.
+func BenchmarkE3Scalability(b *testing.B) {
+	p := benchParams()
+	p.Scale = 500
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE3(p, []int{256, 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].SLL.AvgHops(), "hops@256")
+		b.ReportMetric(res.Rows[1].SLL.AvgHops(), "hops@1024")
+	}
+}
+
+// BenchmarkE4AccuracySweep regenerates the §5.2 accuracy discussion:
+// error versus bitmaps, into the degraded large-m regime.
+func BenchmarkE4AccuracySweep(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE4(p, []int{32, 256, 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		b.ReportMetric(100*first.ErrSLL, "sLL-err%@m32")
+		b.ReportMetric(100*last.ErrSLL, "sLL-err%@m1024")
+		b.ReportMetric(100*last.ErrPCSA, "PCSA-err%@m1024")
+	}
+}
+
+// BenchmarkE5HistogramTable3 regenerates Table 3: histogram
+// reconstruction costs.
+func BenchmarkE5HistogramTable3(b *testing.B) {
+	p := benchParams()
+	p.Scale = 500
+	p.Buckets = 20
+	p.Trials = 3
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE5(p, []int{16, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.SLL.AvgVisited(), "sLL-visited")
+		b.ReportMetric(last.SLL.AvgBytes()/1024, "sLL-kB")
+	}
+}
+
+// BenchmarkE6HistogramAccuracy regenerates the per-cell histogram error
+// numbers of §5.2.
+func BenchmarkE6HistogramAccuracy(b *testing.B) {
+	p := benchParams()
+	p.Scale = 100 // enough per-bucket mass for small m
+	p.Buckets = 20
+	p.Trials = 3
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE6(p, []int{16, 32, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			switch row.M {
+			case 16:
+				b.ReportMetric(100*row.MeanCellErr, "cell-err%@m16")
+			case 64:
+				b.ReportMetric(100*row.MeanCellErr, "cell-err%@m64")
+			}
+		}
+	}
+}
+
+// BenchmarkE7QueryOptimization regenerates the §5.2 query-processing
+// comparison: optimal versus statistics-less plan bytes versus histogram
+// reconstruction cost.
+func BenchmarkE7QueryOptimization(b *testing.B) {
+	p := benchParams()
+	p.Nodes = 128
+	p.M = 16
+	p.Buckets = 20
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OptimalBytes/(1<<20), "optimal-MB")
+		b.ReportMetric(res.NaiveBytes/(1<<20), "naive-MB")
+		b.ReportMetric(res.HistReconBytes/1024, "recon-kB")
+	}
+}
+
+// BenchmarkE8EstimatorStddev validates the §2.2 standard-error formulas
+// on local sketches.
+func BenchmarkE8EstimatorStddev(b *testing.B) {
+	p := benchParams()
+	p.Trials = 10
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE8(p, []int{256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.M == 256 {
+				b.ReportMetric(100*row.MeasuredStdDev, row.Kind.String()+"-σ%")
+			}
+		}
+	}
+}
+
+// BenchmarkE9RetryBound validates eq. 5/6 of §4.1.
+func BenchmarkE9RetryBound(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE9(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.DefaultLimSufficient {
+			b.Fatal("lim=5 claim violated")
+		}
+	}
+}
+
+// BenchmarkE10FaultTolerance regenerates the §3.5 fault-tolerance
+// trade-offs: error under failures for replication degrees and the
+// bit-shift variant.
+func BenchmarkE10FaultTolerance(b *testing.B) {
+	p := benchParams()
+	p.Scale = 500
+	p.M = 16
+	p.Trials = 5
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE10(p, []float64{0, 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.FailedFrac == 0.2 && (row.Variant == "R=0" || row.Variant == "R=3") {
+				b.ReportMetric(100*row.Err, row.Variant+"-err%@20%fail")
+			}
+		}
+	}
+}
+
+// BenchmarkE11Baselines regenerates the §1 constraint comparison: DHS
+// versus the four related-work counting families.
+func BenchmarkE11Baselines(b *testing.B) {
+	p := benchParams()
+	p.Scale = 200
+	p.M = 16
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE11(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			switch row.Method {
+			case "DHS (sLL)":
+				b.ReportMetric(float64(row.QueryMessages), "DHS-query-msgs")
+				b.ReportMetric(100*row.Err, "DHS-err%")
+			case "convergecast (sketches)":
+				b.ReportMetric(float64(row.QueryMessages), "converge-query-msgs")
+			}
+		}
+	}
+}
+
+// BenchmarkE12ChurnMaintenance regenerates the §3.3 soft-state trade-off:
+// maintenance bandwidth versus counting error under continuous churn,
+// for fast and slow refresh periods.
+func BenchmarkE12ChurnMaintenance(b *testing.B) {
+	p := benchParams()
+	p.Nodes = 64
+	p.Scale = 100
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE12(p, []int64{10, 80})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].MaintBytesPerTick/1024, "fast-kB/tick")
+		b.ReportMetric(res.Rows[1].MaintBytesPerTick/1024, "slow-kB/tick")
+		b.ReportMetric(100*res.Rows[0].MeanErr, "fast-err%")
+		b.ReportMetric(100*res.Rows[1].MeanErr, "slow-err%")
+	}
+}

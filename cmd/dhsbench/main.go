@@ -1,0 +1,178 @@
+// Command dhsbench regenerates the paper's evaluation (§5): every table,
+// figure, and quoted number has an experiment here (see DESIGN.md for the
+// index). Each experiment prints a table in the paper's layout.
+//
+// Usage:
+//
+//	dhsbench [-experiment all|e1|...|e11] [-nodes 1024] [-scale 100]
+//	         [-m 512] [-trials 20] [-buckets 100] [-seed 1] [-lim 5]
+//
+// The default scale divides the paper's 10–80 M-tuple relations by 100,
+// keeping a full run under a minute. For paper-faithful counting accuracy
+// use -scale 10 (α = n/(m·N) ≥ 1 at m = 512, as in §5.1), which inserts
+// 15 M tuples and takes a few minutes; -scale 1 reproduces the full
+// 150 M-tuple workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dhsketch/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "which experiment to run: all, e1..e12, or a comma list")
+		nodes   = flag.Int("nodes", 0, "overlay size N (default 1024)")
+		scale   = flag.Int("scale", 0, "relation scale divisor (default 100; 10 = paper-faithful alpha, 1 = full paper scale)")
+		m       = flag.Int("m", 0, "default bitmap vectors (default 512)")
+		trials  = flag.Int("trials", 0, "counting trials per configuration (default 20)")
+		buckets = flag.Int("buckets", 0, "histogram buckets (default 100)")
+		seed    = flag.Uint64("seed", 0, "master PRNG seed (default 1)")
+		lim     = flag.Int("lim", 0, "probe retries per interval (default 5)")
+	)
+	flag.Parse()
+
+	p := experiments.Params{
+		Seed:    *seed,
+		Nodes:   *nodes,
+		Scale:   *scale,
+		M:       *m,
+		Lim:     *lim,
+		Buckets: *buckets,
+		Trials:  *trials,
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(strings.ToLower(*exp), ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	type runner struct {
+		name string
+		what string
+		run  func() error
+	}
+	runners := []runner{
+		{"e1", "insertion and maintenance costs (§5.2)", func() error {
+			r, err := experiments.RunE1(p)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+		{"e2", "Table 2: counting costs", func() error {
+			r, err := experiments.RunE2(p, nil)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+		{"e3", "scalability sweep (figure omitted in paper)", func() error {
+			r, err := experiments.RunE3(p, nil)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+		{"e4", "accuracy vs number of bitmaps, incl. degradation", func() error {
+			r, err := experiments.RunE4(p, nil)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+		{"e5", "Table 3: histogram building costs", func() error {
+			r, err := experiments.RunE5(p, nil)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+		{"e6", "histogram per-cell accuracy", func() error {
+			r, err := experiments.RunE6(p, nil)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+		{"e7", "query optimization with DHS histograms", func() error {
+			r, err := experiments.RunE7(p)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+		{"e8", "estimator stddev vs theory (§2.2)", func() error {
+			r, err := experiments.RunE8(p, nil)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+		{"e9", "retry-bound validation (§4.1, eq. 5/6)", func() error {
+			r, err := experiments.RunE9(p)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+		{"e10", "fault tolerance: replication and bit-shift (§3.5)", func() error {
+			r, err := experiments.RunE10(p, nil)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+		{"e11", "baseline comparison (§1 constraints)", func() error {
+			r, err := experiments.RunE11(p)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+		{"e12", "soft-state maintenance under churn (§3.3 trade-off)", func() error {
+			r, err := experiments.RunE12(p, nil)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if !all && !want[r.name] {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", strings.ToUpper(r.name), r.what)
+		start := time.Now()
+		if err := r.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use all or e1..e12\n", *exp)
+		os.Exit(2)
+	}
+}

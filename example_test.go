@@ -1,0 +1,73 @@
+package dhsketch_test
+
+import (
+	"fmt"
+
+	"dhsketch"
+)
+
+// Counting distinct items across a simulated overlay: the estimate is
+// deterministic for a fixed seed, so this example's output is stable.
+func Example() {
+	net := dhsketch.NewNetwork(1, 256)
+	d, err := dhsketch.New(net, dhsketch.Config{M: 64})
+	if err != nil {
+		panic(err)
+	}
+	metric := dhsketch.MetricID("documents")
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if _, err := d.Insert(metric, dhsketch.ItemID(fmt.Sprintf("doc-%d", i))); err != nil {
+			panic(err)
+		}
+	}
+	est, err := d.Count(metric)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("within 25%% of %d: %v\n", n, est.Value > 0.75*n && est.Value < 1.25*n)
+	fmt.Printf("counting touched all %d nodes: %v\n", 256, est.Cost.NodesVisited == 256)
+	// Output:
+	// within 25% of 200000: true
+	// counting touched all 256 nodes: false
+}
+
+// Duplicate insensitivity: replicas of the same item do not change the
+// distributed bit state, so the estimate counts distinct items.
+func Example_duplicates() {
+	net := dhsketch.NewNetwork(2, 64)
+	d, err := dhsketch.New(net, dhsketch.Config{M: 16, K: 20})
+	if err != nil {
+		panic(err)
+	}
+	metric := dhsketch.MetricID("files")
+	for i := 0; i < 5000; i++ {
+		id := dhsketch.ItemID(fmt.Sprintf("file-%d", i))
+		for copy := 0; copy < 3; copy++ { // three peers share each file
+			if _, err := d.Insert(metric, id); err != nil {
+				panic(err)
+			}
+		}
+	}
+	one, _ := d.Count(metric)
+	// Re-publishing everything again must not move the estimate.
+	for i := 0; i < 5000; i++ {
+		if _, err := d.Insert(metric, dhsketch.ItemID(fmt.Sprintf("file-%d", i))); err != nil {
+			panic(err)
+		}
+	}
+	two, _ := d.Count(metric)
+	fmt.Println("estimate unchanged by duplicates:", one.Value == two.Value)
+	// Output:
+	// estimate unchanged by duplicates: true
+}
+
+// The eq. 6 probe budget: the paper's default lim = 5 is exactly the
+// p = 0.99 budget at the α = 1 boundary.
+func ExampleRetryLimit() {
+	fmt.Println(dhsketch.RetryLimit(512, 512, 0.99, 1, 0))
+	fmt.Println(dhsketch.RetryLimit(512, 128, 0.99, 1, 0)) // α = 0.25 needs more
+	// Output:
+	// 5
+	// 19
+}

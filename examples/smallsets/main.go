@@ -1,0 +1,77 @@
+// Small-set counting example: what happens below the α = n/(m·N) ≥ 1
+// regime, and how the adaptive two-phase probing of §4.1 rescues it.
+//
+// The constant probe budget lim = 5 guarantees (p ≥ 0.99) that counting
+// finds set bits only while the counted cardinality n is at least m·N.
+// Counting a small set on a big overlay breaks that premise: probes come
+// up empty, bits are missed, and the estimate collapses. The paper's
+// remedy (i) derives a larger per-interval budget from eq. 6 using a
+// first-pass estimate — implemented as DHS.CountAdaptive.
+//
+//	go run ./examples/smallsets
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dhsketch"
+)
+
+func main() {
+	const (
+		peers = 1024
+		m     = 128
+	)
+	net := dhsketch.NewNetwork(12, peers)
+	d, err := dhsketch.New(net, dhsketch.Config{M: m})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("overlay: %d nodes, m = %d bitmaps → guaranteed regime needs n ≥ %d\n\n",
+		peers, m, m*peers)
+	fmt.Printf("%10s %8s %20s %20s %16s\n", "n", "α", "plain |err| (lim=5)", "adaptive |err|", "probes")
+
+	const trials = 4
+	for _, n := range []int{260000, 130000, 60000, 25000} {
+		var plainErr, adaptErr float64
+		var plainProbes, adaptProbes int
+		for trial := 0; trial < trials; trial++ {
+			metric := dhsketch.MetricID(fmt.Sprintf("set-%d-%d", n, trial))
+			for i := 0; i < n; i++ {
+				if _, err := d.Insert(metric, dhsketch.ItemID(fmt.Sprintf("s%d-%d-%d", n, trial, i))); err != nil {
+					log.Fatal(err)
+				}
+			}
+			plain, err := d.Count(metric)
+			if err != nil {
+				log.Fatal(err)
+			}
+			adaptive, err := d.CountAdaptive(metric, 0.99)
+			if err != nil {
+				log.Fatal(err)
+			}
+			plainErr += abs(plain.Value-float64(n)) / float64(n)
+			adaptErr += abs(adaptive.Value-float64(n)) / float64(n)
+			plainProbes += plain.Cost.NodesVisited
+			adaptProbes += adaptive.Cost.NodesVisited
+		}
+		alpha := float64(n) / float64(m*peers)
+		fmt.Printf("%10d %8.2f %19.1f%% %19.1f%% %10d → %d\n",
+			n, alpha, 100*plainErr/trials, 100*adaptErr/trials,
+			plainProbes/trials, adaptProbes/trials)
+	}
+
+	fmt.Println("\nthe alternative remedies of §4.1 also work:")
+	fmt.Printf("  eq. 6 says counting n = 25000 here needs lim = %d (vs default 5)\n",
+		dhsketch.RetryLimit(float64(peers)/2, 25000.0/2, 0.99, m, 0))
+	fmt.Println("  or run the metric on a sub-overlay (supernodes), or replicate bits")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module dhsketch
+
+go 1.22

@@ -1,0 +1,194 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dhsketch/internal/chord"
+	"dhsketch/internal/md4"
+	"dhsketch/internal/sim"
+)
+
+// newScenario builds a ring with items placed `copies`× each.
+func newScenario(t testing.TB, seed uint64, nodes, items, copies int) *Scenario {
+	t.Helper()
+	env := sim.NewEnv(seed)
+	ring := chord.New(env, nodes)
+	s := NewScenario(ring)
+	ids := make([]uint64, items)
+	for i := range ids {
+		ids[i] = md4.Sum64([]byte(fmt.Sprintf("bl-item-%d", i)))
+	}
+	s.Place(ids, copies)
+	return s
+}
+
+func TestScenarioPlacement(t *testing.T) {
+	s := newScenario(t, 1, 64, 1000, 3)
+	if s.TrueDistinct() != 1000 {
+		t.Errorf("TrueDistinct = %d", s.TrueDistinct())
+	}
+	if s.TotalCopies() != 3000 {
+		t.Errorf("TotalCopies = %d", s.TotalCopies())
+	}
+	// Copies of one item land on distinct nodes: no node may hold the
+	// same item twice.
+	for node, items := range s.local {
+		seen := map[uint64]bool{}
+		for _, it := range items {
+			if seen[it] {
+				t.Fatalf("node %x holds duplicate copies", node.ID())
+			}
+			seen[it] = true
+		}
+	}
+}
+
+func TestSingleNodeCounterExactButCentralized(t *testing.T) {
+	s := newScenario(t, 2, 64, 2000, 2)
+	c, err := NewSingleNodeCounter(s, "docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact distinct count (it deduplicates by item ID)...
+	if res.Estimate != 2000 {
+		t.Errorf("estimate = %v", res.Estimate)
+	}
+	if !res.DuplicateInsensitive {
+		t.Error("single-node counter with an ID set is duplicate-insensitive")
+	}
+	// ...but the counter node absorbed one message per copy: total
+	// centralization (the constraint-3 violation).
+	if res.MaxNodeLoad != int64(s.TotalCopies()) {
+		t.Errorf("counter node load %d, want %d", res.MaxNodeLoad, s.TotalCopies())
+	}
+	q, err := c.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Estimate != 2000 {
+		t.Errorf("query estimate = %v", q.Estimate)
+	}
+}
+
+func TestPushSumConverges(t *testing.T) {
+	s := newScenario(t, 3, 128, 5000, 1)
+	// After O(log N) + slack rounds, the initiator's estimate approaches
+	// the total copy count.
+	res := PushSum(s, 40)
+	want := float64(s.TotalCopies())
+	if math.Abs(res.Estimate-want)/want > 0.05 {
+		t.Errorf("push-sum estimate %v, want ~%v", res.Estimate, want)
+	}
+	if res.DuplicateInsensitive {
+		t.Error("push-sum is duplicate-sensitive")
+	}
+	// Cost: N messages per round.
+	if res.Cost.Messages != int64(128*40) {
+		t.Errorf("messages = %d, want %d", res.Cost.Messages, 128*40)
+	}
+}
+
+func TestPushSumCountsCopiesNotDistinct(t *testing.T) {
+	s := newScenario(t, 4, 64, 1000, 3)
+	res := PushSum(s, 40)
+	if math.Abs(res.Estimate-3000)/3000 > 0.1 {
+		t.Errorf("estimate %v should track the 3000 copies, not 1000 distinct", res.Estimate)
+	}
+}
+
+func TestPushSumMoreRoundsMoreAccurate(t *testing.T) {
+	errAt := func(rounds int) float64 {
+		s := newScenario(t, 5, 128, 5000, 1)
+		res := PushSum(s, rounds)
+		want := float64(s.TotalCopies())
+		return math.Abs(res.Estimate-want) / want
+	}
+	if errAt(40) > errAt(5) && errAt(5) > 0.01 {
+		t.Errorf("accuracy did not improve with rounds: %v vs %v", errAt(40), errAt(5))
+	}
+}
+
+func TestConvergecastExact(t *testing.T) {
+	s := newScenario(t, 6, 100, 3000, 2)
+	res, err := Convergecast(s, false, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact convergecast sums local counts: copies, not distinct.
+	if res.Estimate != float64(s.TotalCopies()) {
+		t.Errorf("estimate %v, want %d", res.Estimate, s.TotalCopies())
+	}
+	if res.DuplicateInsensitive {
+		t.Error("raw convergecast is duplicate-sensitive")
+	}
+	// Two phases of N-1 tree edges.
+	if res.Cost.Messages != int64(2*(100-1)) {
+		t.Errorf("messages = %d, want %d", res.Cost.Messages, 2*(100-1))
+	}
+}
+
+func TestConvergecastWithSketches(t *testing.T) {
+	s := newScenario(t, 7, 100, 20000, 3)
+	res, err := Convergecast(s, true, 256, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DuplicateInsensitive {
+		t.Error("sketch convergecast should be duplicate-insensitive")
+	}
+	// Merged sketches estimate the 20000 distinct items despite 60000
+	// copies being stored.
+	if math.Abs(res.Estimate-20000)/20000 > 0.25 {
+		t.Errorf("estimate %v, want ~20000 distinct", res.Estimate)
+	}
+}
+
+func TestSamplingExtrapolates(t *testing.T) {
+	s := newScenario(t, 8, 256, 20000, 1)
+	res := Sampling(s, 64)
+	want := float64(s.TotalCopies())
+	// Sampling 25% of nodes: expect single-digit-percent error under
+	// uniform placement, but nothing tight.
+	if math.Abs(res.Estimate-want)/want > 0.3 {
+		t.Errorf("estimate %v, want ~%v", res.Estimate, want)
+	}
+	if res.DuplicateInsensitive {
+		t.Error("sampling is duplicate-sensitive")
+	}
+	if res.MaxNodeLoad != 64 {
+		t.Errorf("querier load = %d, want 64", res.MaxNodeLoad)
+	}
+}
+
+func TestSamplingAccuracyImprovesWithSampleSize(t *testing.T) {
+	errAt := func(size int, seed uint64) float64 {
+		s := newScenario(t, seed, 256, 20000, 1)
+		res := Sampling(s, size)
+		want := float64(s.TotalCopies())
+		return math.Abs(res.Estimate-want) / want
+	}
+	// Average over seeds to avoid flakiness.
+	var small, large float64
+	for seed := uint64(0); seed < 10; seed++ {
+		small += errAt(8, 100+seed)
+		large += errAt(128, 100+seed)
+	}
+	if large >= small {
+		t.Errorf("sample 128 error %v not below sample 8 error %v", large/10, small/10)
+	}
+}
+
+func TestSamplingClampsToNetworkSize(t *testing.T) {
+	s := newScenario(t, 9, 32, 1000, 1)
+	res := Sampling(s, 1000)
+	// Sampling every node is exact.
+	if res.Estimate != float64(s.TotalCopies()) {
+		t.Errorf("full sample estimate %v, want %d", res.Estimate, s.TotalCopies())
+	}
+}

@@ -1,0 +1,319 @@
+// Package chord implements a Chord-like structured overlay (Stoica et al.
+// 2001) satisfying the dht.Overlay interface: a 64-bit identifier ring
+// with consistent hashing, finger-table routing in O(log N) hops, node
+// join/leave/failure, and deterministic hop-count simulation.
+//
+// The implementation simulates the overlay in-process with post-
+// stabilization routing state (fingers always reflect the live ring), the
+// same model under the paper's evaluation: costs are counted in overlay
+// hops and payload bytes rather than wall-clock time.
+package chord
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+
+	"dhsketch/internal/dht"
+	"dhsketch/internal/md4"
+	"dhsketch/internal/sim"
+)
+
+// Node is one ring member.
+type Node struct {
+	id       uint64
+	name     string
+	alive    bool
+	app      any
+	counters dht.Counters
+}
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() uint64 { return n.id }
+
+// Name returns the label the node's identifier was hashed from.
+func (n *Node) Name() string { return n.name }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive }
+
+// App returns the attached application state.
+func (n *Node) App() any { return n.app }
+
+// SetApp attaches application state.
+func (n *Node) SetApp(state any) { n.app = state }
+
+// Counters returns the node's load counters.
+func (n *Node) Counters() *dht.Counters { return &n.counters }
+
+// Ring is a Chord-like overlay. It is not safe for concurrent use; the
+// simulation is single-threaded and deterministic.
+type Ring struct {
+	env *sim.Env
+	rng *rand.Rand
+
+	// live is sorted by ID and contains only alive nodes; routing and
+	// ownership are resolved against it. all additionally retains failed
+	// nodes so tests can revive them.
+	live []*Node
+	all  map[uint64]*Node
+
+	// maxHops aborts routing loops; generous multiple of log N.
+	maxHops int
+}
+
+// New creates a ring of n nodes with MD4-derived identifiers, simulating
+// the paper's setup ("node and item IDs are 64 bits, created using MD4").
+func New(env *sim.Env, n int) *Ring {
+	if n <= 0 {
+		panic("chord: ring needs at least one node")
+	}
+	r := &Ring{
+		env:     env,
+		rng:     env.Derive("chord"),
+		all:     make(map[uint64]*Node, n),
+		maxHops: 256,
+	}
+	for i := 0; i < n; i++ {
+		r.addNode(fmt.Sprintf("node-%d:4000", i))
+	}
+	return r
+}
+
+// addNode creates a node from name, re-hashing on the (astronomically
+// unlikely) ID collision, and splices it into the live ring.
+func (r *Ring) addNode(name string) *Node {
+	label := name
+	id := md4.Sum64([]byte(label))
+	for _, taken := r.all[id]; taken; _, taken = r.all[id] {
+		label += "'"
+		id = md4.Sum64([]byte(label))
+	}
+	n := &Node{id: id, name: name, alive: true}
+	r.all[id] = n
+	idx := sort.Search(len(r.live), func(i int) bool { return r.live[i].id >= id })
+	r.live = append(r.live, nil)
+	copy(r.live[idx+1:], r.live[idx:])
+	r.live[idx] = n
+	return n
+}
+
+// Bits returns the identifier length (64).
+func (r *Ring) Bits() uint { return 64 }
+
+// Size returns the number of live nodes.
+func (r *Ring) Size() int { return len(r.live) }
+
+// Env returns the simulation environment the ring accounts against.
+func (r *Ring) Env() *sim.Env { return r.env }
+
+// Nodes returns the live nodes in ID order.
+func (r *Ring) Nodes() []dht.Node {
+	out := make([]dht.Node, len(r.live))
+	for i, n := range r.live {
+		out[i] = n
+	}
+	return out
+}
+
+// RandomNode returns a uniformly chosen live node.
+func (r *Ring) RandomNode() dht.Node {
+	if len(r.live) == 0 {
+		return nil
+	}
+	return r.live[r.rng.IntN(len(r.live))]
+}
+
+// ownerIndex returns the index in live of the clockwise successor of key
+// (the node owning key under consistent hashing).
+func (r *Ring) ownerIndex(key uint64) int {
+	idx := sort.Search(len(r.live), func(i int) bool { return r.live[i].id >= key })
+	if idx == len(r.live) {
+		return 0 // wrap around
+	}
+	return idx
+}
+
+// Owner returns the live node responsible for key at zero simulated cost.
+func (r *Ring) Owner(key uint64) (dht.Node, error) {
+	if len(r.live) == 0 {
+		return nil, dht.ErrNoRoute
+	}
+	return r.live[r.ownerIndex(key)], nil
+}
+
+// dist returns the clockwise distance from a to b on the 2^64 ring.
+func dist(a, b uint64) uint64 { return b - a }
+
+// Lookup routes to the owner of key from a random origin node.
+func (r *Ring) Lookup(key uint64) (dht.Node, int, error) {
+	src := r.RandomNode()
+	if src == nil {
+		return nil, 0, dht.ErrNoRoute
+	}
+	return r.LookupFrom(src, key)
+}
+
+// LookupFrom simulates greedy finger routing from src to the owner of key
+// and returns the owner together with the hop count.
+func (r *Ring) LookupFrom(src dht.Node, key uint64) (dht.Node, int, error) {
+	cur, ok := src.(*Node)
+	if !ok {
+		return nil, 0, fmt.Errorf("chord: foreign node type %T", src)
+	}
+	if !cur.alive {
+		return nil, 0, dht.ErrNodeDown
+	}
+	if len(r.live) == 0 {
+		return nil, 0, dht.ErrNoRoute
+	}
+	owner := r.live[r.ownerIndex(key)]
+	hops := 0
+	for cur != owner {
+		if hops >= r.maxHops {
+			return nil, hops, dht.ErrNoRoute
+		}
+		succ := r.successorNode(cur)
+		var next *Node
+		if dist(cur.id, key) <= dist(cur.id, succ.id) {
+			// key ∈ (cur, succ]: the successor owns it.
+			next = succ
+		} else if f := r.closestPrecedingFinger(cur, key); f != cur {
+			next = f
+		} else {
+			next = succ
+		}
+		cur = next
+		hops++
+		cur.counters.Routed++
+	}
+	return owner, hops, nil
+}
+
+// closestPrecedingFinger returns the finger of cur that lies furthest
+// along the arc (cur, key), or cur itself if no finger makes progress.
+// Fingers are the successors of cur.id + 2^i, i = 63..0, resolved against
+// the live ring (post-stabilization state).
+func (r *Ring) closestPrecedingFinger(cur *Node, key uint64) *Node {
+	dKey := dist(cur.id, key)
+	if dKey < 2 {
+		return cur
+	}
+	// The largest finger that can precede the key is the one spanning
+	// 2^⌊log₂(dKey−1)⌋; start there instead of at bit 63.
+	for i := bits.Len64(dKey-1) - 1; i >= 0; i-- {
+		span := uint64(1) << uint(i)
+		if span >= dKey {
+			continue // finger target at or beyond the key
+		}
+		f := r.live[r.ownerIndex(cur.id+span)]
+		if f == cur {
+			continue
+		}
+		if d := dist(cur.id, f.id); d > 0 && d < dKey {
+			return f
+		}
+	}
+	return cur
+}
+
+// successorNode returns the live node immediately after n on the ring.
+func (r *Ring) successorNode(n *Node) *Node {
+	idx := r.ownerIndex(n.id + 1)
+	return r.live[idx]
+}
+
+// Successor returns the live node immediately following n.
+func (r *Ring) Successor(n dht.Node) (dht.Node, error) {
+	cn, ok := n.(*Node)
+	if !ok {
+		return nil, fmt.Errorf("chord: foreign node type %T", n)
+	}
+	if len(r.live) == 0 {
+		return nil, dht.ErrNoRoute
+	}
+	if !cn.alive {
+		// A failed node's successor is still well-defined on the live
+		// ring: the owner of the first ID after it.
+		return r.live[r.ownerIndex(cn.id+1)], nil
+	}
+	return r.successorNode(cn), nil
+}
+
+// Predecessor returns the live node immediately preceding n.
+func (r *Ring) Predecessor(n dht.Node) (dht.Node, error) {
+	cn, ok := n.(*Node)
+	if !ok {
+		return nil, fmt.Errorf("chord: foreign node type %T", n)
+	}
+	if len(r.live) == 0 {
+		return nil, dht.ErrNoRoute
+	}
+	idx := sort.Search(len(r.live), func(i int) bool { return r.live[i].id >= cn.id })
+	idx-- // first node strictly below cn.id
+	if idx < 0 {
+		idx = len(r.live) - 1
+	}
+	return r.live[idx], nil
+}
+
+// Join adds a new node with the given name and returns it.
+func (r *Ring) Join(name string) dht.Node {
+	return r.addNode(name)
+}
+
+// Fail marks the node down and removes it from the live ring. Its stored
+// application state becomes unreachable, exactly like an abrupt crash;
+// soft-state refresh or replication must recover the data.
+func (r *Ring) Fail(n dht.Node) {
+	cn, ok := n.(*Node)
+	if !ok || !cn.alive {
+		return
+	}
+	cn.alive = false
+	r.removeLive(cn)
+}
+
+// Revive brings a previously failed node back with empty application
+// state (a crash loses the soft state).
+func (r *Ring) Revive(n dht.Node) {
+	cn, ok := n.(*Node)
+	if !ok || cn.alive {
+		return
+	}
+	cn.alive = true
+	cn.app = nil
+	idx := sort.Search(len(r.live), func(i int) bool { return r.live[i].id >= cn.id })
+	r.live = append(r.live, nil)
+	copy(r.live[idx+1:], r.live[idx:])
+	r.live[idx] = cn
+}
+
+// Leave removes the node gracefully. In this simulation graceful departure
+// and failure differ only in intent; handoff of soft state is the DHS
+// layer's job via refresh.
+func (r *Ring) Leave(n dht.Node) {
+	r.Fail(n)
+}
+
+// FailRandom fails k distinct random live nodes and returns them.
+func (r *Ring) FailRandom(k int) []dht.Node {
+	if k > len(r.live) {
+		k = len(r.live)
+	}
+	out := make([]dht.Node, 0, k)
+	for i := 0; i < k; i++ {
+		n := r.live[r.rng.IntN(len(r.live))]
+		out = append(out, n)
+		r.Fail(n)
+	}
+	return out
+}
+
+func (r *Ring) removeLive(n *Node) {
+	idx := sort.Search(len(r.live), func(i int) bool { return r.live[i].id >= n.id })
+	if idx < len(r.live) && r.live[idx] == n {
+		r.live = append(r.live[:idx], r.live[idx+1:]...)
+	}
+}

@@ -1,0 +1,129 @@
+package chord
+
+import (
+	"fmt"
+	"testing"
+
+	"dhsketch/internal/sim"
+)
+
+// TestChurnInvariants drives a long random sequence of joins, failures,
+// and revivals and checks the ring's structural invariants after every
+// step: live nodes sorted and unique, ownership consistent with the
+// sorted order, lookups from random sources terminating at the owner,
+// successor/predecessor forming a cycle.
+func TestChurnInvariants(t *testing.T) {
+	env := sim.NewEnv(17)
+	r := New(env, 64)
+	rng := env.Derive("churn-ops")
+
+	var failed []*Node
+	joined := 0
+
+	checkInvariants := func(step int) {
+		nodes := r.Nodes()
+		if len(nodes) == 0 {
+			t.Fatalf("step %d: empty ring", step)
+		}
+		for i := 1; i < len(nodes); i++ {
+			if nodes[i-1].ID() >= nodes[i].ID() {
+				t.Fatalf("step %d: live list unsorted", step)
+			}
+		}
+		// Spot-check ownership and routing with a few random keys.
+		for j := 0; j < 5; j++ {
+			key := rng.Uint64()
+			own, err := r.Owner(key)
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if !own.Alive() {
+				t.Fatalf("step %d: owner dead", step)
+			}
+			got, hops, err := r.Lookup(key)
+			if err != nil {
+				t.Fatalf("step %d: lookup: %v", step, err)
+			}
+			if got.ID() != own.ID() {
+				t.Fatalf("step %d: lookup disagrees with owner", step)
+			}
+			if hops > 64 {
+				t.Fatalf("step %d: %d hops", step, hops)
+			}
+		}
+		// Successor cycle has exactly Size() distinct members.
+		start := nodes[0]
+		cur := start
+		for i := 0; i < len(nodes); i++ {
+			next, err := r.Successor(cur)
+			if err != nil {
+				t.Fatalf("step %d: successor: %v", step, err)
+			}
+			cur = next
+		}
+		if cur.ID() != start.ID() {
+			t.Fatalf("step %d: successor walk of length N did not close", step)
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		switch op := rng.IntN(3); {
+		case op == 0 || r.Size() < 8: // join (forced when small)
+			joined++
+			r.Join(fmt.Sprintf("churner-%d", joined))
+		case op == 1 && r.Size() > 8: // fail
+			victim := r.RandomNode().(*Node)
+			r.Fail(victim)
+			failed = append(failed, victim)
+		case op == 2 && len(failed) > 0: // revive
+			v := failed[len(failed)-1]
+			failed = failed[:len(failed)-1]
+			r.Revive(v)
+		}
+		checkInvariants(step)
+	}
+}
+
+// TestChurnOwnershipTransfer verifies the consistent-hashing property:
+// a join splits exactly one ownership range, a failure merges exactly
+// one — every other key keeps its owner.
+func TestChurnOwnershipTransfer(t *testing.T) {
+	env := sim.NewEnv(19)
+	r := New(env, 128)
+	rng := env.Derive("transfer")
+
+	keys := make([]uint64, 2000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	ownerOf := func() []uint64 {
+		out := make([]uint64, len(keys))
+		for i, k := range keys {
+			n, err := r.Owner(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = n.ID()
+		}
+		return out
+	}
+
+	before := ownerOf()
+	joiner := r.Join("transfer-joiner")
+	after := ownerOf()
+	for i := range keys {
+		if before[i] != after[i] && after[i] != joiner.ID() {
+			t.Fatalf("key %x moved to a non-joiner node", keys[i])
+		}
+	}
+
+	// Failing the joiner returns all its keys to exactly the nodes that
+	// held them before.
+	r.Fail(joiner)
+	restored := ownerOf()
+	for i := range keys {
+		if restored[i] != before[i] {
+			t.Fatalf("key %x did not return to its pre-join owner", keys[i])
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+
+	"dhsketch/internal/dht"
+	"dhsketch/internal/sketch"
+)
+
+// CountAdaptive estimates the metric's cardinality with the two-phase
+// adaptive probing the paper sketches as remedy (i) in §4.1 for counting
+// below the α ≥ 1 regime: a first pass with the constant default budget
+// yields a rough estimate n̂; a second pass then probes each interval
+// with the budget eq. 6 prescribes for n̂, clamped to
+// [Lim, AdaptiveLimCap·Lim]. The returned estimate is the second pass's,
+// and its cost includes both passes.
+func (d *DHS) CountAdaptive(metric uint64, p float64) (Estimate, error) {
+	src := d.overlay.RandomNode()
+	if src == nil {
+		return Estimate{}, dht.ErrNoRoute
+	}
+	return d.CountAdaptiveFrom(src, metric, p)
+}
+
+// AdaptiveLimCap bounds the per-interval budget of the adaptive second
+// pass to this multiple of the configured Lim, so a wildly low first
+// estimate cannot turn counting into a network flood.
+const AdaptiveLimCap = 8
+
+// CountAdaptiveFrom is CountAdaptive with an explicit querying node.
+func (d *DHS) CountAdaptiveFrom(src dht.Node, metric uint64, p float64) (Estimate, error) {
+	first, err := d.CountFrom(src, metric)
+	if err != nil {
+		return Estimate{}, err
+	}
+	nHat := first.Value
+	if nHat < 1 {
+		nHat = 1
+	}
+	nodes := float64(d.overlay.Size())
+
+	limFor := func(bit int) int {
+		// With ShiftBits = b, bit i sits in interval I_{i−b}, whose node
+		// count is 2^b larger while its item count is unchanged — eq. 6
+		// evaluated at the interval's true geometry.
+		intervalNodes := nodes * math.Exp2(-float64(bit-int(d.cfg.ShiftBits))-1)
+		intervalItems := nHat * math.Exp2(-float64(bit)-1)
+		lim := RetryLimit(intervalNodes, intervalItems, p, d.cfg.M, d.cfg.Replication)
+		if lim < d.cfg.Lim {
+			lim = d.cfg.Lim
+		}
+		if cap := AdaptiveLimCap * d.cfg.Lim; lim > cap {
+			lim = cap
+		}
+		return lim
+	}
+
+	states := []*metricState{newMetricState(metric, d.cfg.M)}
+	var cost CountCost
+	if d.cfg.Kind == sketch.KindPCSA {
+		cost, err = d.scanAscending(src, states, limFor)
+	} else {
+		cost, err = d.scanDescending(src, states, limFor)
+	}
+	if err != nil {
+		return Estimate{}, err
+	}
+	cost.add(first.Cost)
+	R := states[0].finalR(d, d.cfg.Kind)
+	return Estimate{Value: d.estimateFromR(R), R: R, Cost: cost}, nil
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"dhsketch/internal/dht"
+	"dhsketch/internal/sim"
+	"dhsketch/internal/sketch"
+)
+
+// Count estimates the cardinality of the metric's multiset from a random
+// querying node (§4, Algorithm 1).
+func (d *DHS) Count(metric uint64) (Estimate, error) {
+	src := d.overlay.RandomNode()
+	if src == nil {
+		return Estimate{}, dht.ErrNoRoute
+	}
+	return d.CountFrom(src, metric)
+}
+
+// CountFrom estimates the cardinality of the metric's multiset, with the
+// counting walk originating at src.
+func (d *DHS) CountFrom(src dht.Node, metric uint64) (Estimate, error) {
+	ests, err := d.CountAllFrom(src, []uint64{metric})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return ests[0], nil
+}
+
+// CountAllFrom estimates the cardinality of several metrics in a single
+// counting pass — the paper's multi-dimensional counting (§4.2). The bit→
+// interval mapping is shared by all bitmaps of all metrics, so each probed
+// node answers for every metric at once and the hop-count cost of the
+// pass is the same as for a single metric; only the per-probe reply grows
+// (⌈m/8⌉ bytes per still-unresolved metric).
+//
+// The pass cost is indivisible across metrics — that is the point of
+// multi-dimensional counting — so every returned Estimate carries the
+// same Cost: the total cost of the whole pass, not a per-metric share.
+func (d *DHS) CountAllFrom(src dht.Node, metrics []uint64) ([]Estimate, error) {
+	states := make([]*metricState, len(metrics))
+	for i, metric := range metrics {
+		states[i] = newMetricState(metric, d.cfg.M)
+	}
+
+	var cost CountCost
+	var err error
+	constLim := func(int) int { return d.cfg.Lim }
+	if d.cfg.Kind == sketch.KindPCSA {
+		cost, err = d.scanAscending(src, states, constLim)
+	} else {
+		cost, err = d.scanDescending(src, states, constLim)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	ests := make([]Estimate, len(states))
+	for i, st := range states {
+		R := st.finalR(d, d.cfg.Kind)
+		ests[i] = Estimate{Value: d.estimateFromR(R), R: R}
+	}
+	// The pass cost is indivisible across metrics (that is the point of
+	// multi-dimensional counting); report it on every estimate.
+	for i := range ests {
+		ests[i].Cost = cost
+	}
+	return ests, nil
+}
+
+// metricState tracks the per-vector resolution of one metric during a
+// counting pass.
+type metricState struct {
+	metric     uint64
+	R          []int  // resolved statistic per vector
+	resolved   []bool // whether vector j has its statistic
+	unresolved int
+	// foundHere marks vectors observed set at the current bit position
+	// (ascending PCSA scans need it to decide leftmost zeros).
+	foundHere []bool
+}
+
+func newMetricState(metric uint64, m int) *metricState {
+	st := &metricState{
+		metric:     metric,
+		R:          make([]int, m),
+		resolved:   make([]bool, m),
+		unresolved: m,
+		foundHere:  make([]bool, m),
+	}
+	for i := range st.R {
+		st.R[i] = -1
+	}
+	return st
+}
+
+// finalR returns the per-vector statistics with unresolved vectors filled
+// by the family's convention: PCSA vectors that never showed a zero have
+// their leftmost zero just past the top usable bit; LogLog-family vectors
+// never observed stay at -1 (empty bucket).
+func (st *metricState) finalR(d *DHS, kind sketch.Kind) []int {
+	out := append([]int(nil), st.R...)
+	if kind == sketch.KindPCSA {
+		for j := range out {
+			if !st.resolved[j] {
+				out[j] = int(d.maxBit) + 1
+			}
+		}
+	}
+	return out
+}
+
+// scanDescending implements Algorithm 1 for the LogLog family: visit the
+// bit intervals from the most significant usable position downward; the
+// first set bit seen for a vector is its maximum, R[j].
+func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bit int) int) (CountCost, error) {
+	var cost CountCost
+	start := int(d.cfg.K) - 1 // Algorithm 1 scans the full bitmap length
+	if d.cfg.TrimmedScan || int(d.maxBit) > start {
+		start = int(d.maxBit)
+	}
+	for bit := start; bit >= int(d.cfg.ShiftBits); bit-- {
+		if totalUnresolved(states) == 0 {
+			break
+		}
+		c, err := d.probeIntervalLim(src, uint(bit), limFor(bit), states, func(n dht.Node) bool {
+			now := d.env.Clock.Now()
+			for _, st := range states {
+				if st.unresolved == 0 {
+					continue
+				}
+				for _, v := range storeOf(n).VectorsWithBit(st.metric, uint8(bit), now) {
+					if int(v) >= len(st.resolved) {
+						continue // foreign vector index (mismatched m); ignore
+					}
+					if !st.resolved[v] {
+						st.resolved[v] = true
+						st.R[v] = bit
+						st.unresolved--
+					}
+				}
+			}
+			return totalUnresolved(states) == 0
+		})
+		cost.add(c)
+		if err != nil {
+			return cost, err
+		}
+	}
+	return cost, nil
+}
+
+// scanAscending implements the PCSA variant: visit intervals from the
+// least significant stored position upward; a vector's statistic is the
+// first position where no set bit can be found within lim probes (its
+// leftmost zero). Unlike the descending scan, declaring a zero requires
+// exhausting the probe budget, which is why DHS-PCSA degrades faster than
+// DHS-sLL when intervals get sparse (§5.2, "Accuracy").
+func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit int) int) (CountCost, error) {
+	var cost CountCost
+	for bit := int(d.cfg.ShiftBits); bit <= int(d.maxBit); bit++ {
+		if totalUnresolved(states) == 0 {
+			break
+		}
+		for _, st := range states {
+			clearBools(st.foundHere)
+		}
+		c, err := d.probeIntervalLim(src, uint(bit), limFor(bit), states, func(n dht.Node) bool {
+			now := d.env.Clock.Now()
+			allFound := true
+			for _, st := range states {
+				if st.unresolved == 0 {
+					continue
+				}
+				for _, v := range storeOf(n).VectorsWithBit(st.metric, uint8(bit), now) {
+					if int(v) >= len(st.foundHere) {
+						continue // foreign vector index (mismatched m); ignore
+					}
+					st.foundHere[v] = true
+				}
+				for j := range st.foundHere {
+					if !st.resolved[j] && !st.foundHere[j] {
+						allFound = false
+						break
+					}
+				}
+			}
+			// Early exit only when every unresolved vector of every
+			// metric is known set at this position: then no zero can be
+			// declared here and the scan moves on.
+			return allFound
+		})
+		cost.add(c)
+		if err != nil {
+			return cost, err
+		}
+		// Vectors with no set bit found at this position have their
+		// leftmost zero here.
+		for _, st := range states {
+			if st.unresolved == 0 {
+				continue
+			}
+			for j := range st.foundHere {
+				if !st.resolved[j] && !st.foundHere[j] {
+					st.resolved[j] = true
+					st.R[j] = bit
+					st.unresolved--
+				}
+			}
+		}
+	}
+	return cost, nil
+}
+
+func totalUnresolved(states []*metricState) int {
+	total := 0
+	for _, st := range states {
+		total += st.unresolved
+	}
+	return total
+}
+
+func clearBools(b []bool) {
+	for i := range b {
+		b[i] = false
+	}
+}
+
+// probeIntervalLim performs the probe-and-retry walk of Algorithm 1 on
+// one bit's ID-space interval: route to a uniformly random identifier in
+// the interval, probe its owner, then retry — blindly along successors
+// in the default mode, boundary-aware in EdgeAware mode — up to lim
+// probed nodes. visit is called once per probed node and returns true
+// when the counting pass is fully resolved.
+func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metricState, visit func(dht.Node) bool) (CountCost, error) {
+	lo, size := d.intervalForBit(bit)
+	inInterval := func(id uint64) bool { return id-lo < size }
+
+	target := sim.UniformIn(d.rng, lo, size)
+	home, hops, err := d.overlay.LookupFrom(src, target)
+	if err != nil {
+		return CountCost{}, err
+	}
+	var cost CountCost
+	cost.Lookups++
+
+	respBytes := func() int {
+		b := MsgHeaderBytes
+		for _, st := range states {
+			if st.unresolved > 0 {
+				b += (d.cfg.M + 7) / 8
+			}
+		}
+		return b
+	}
+
+	probe := func(n dht.Node, h int) bool {
+		n.Counters().Probed++
+		cost.NodesVisited++
+		cost.Hops += int64(h)
+		bytes := int64(h) * int64(ProbeReqBytes+respBytes())
+		cost.Bytes += bytes
+		d.env.Traffic.Account(h, ProbeReqBytes+respBytes())
+		return visit(n)
+	}
+
+	if probe(home, hops) {
+		return cost, nil
+	}
+
+	if !d.cfg.EdgeAware {
+		// Faithful Algorithm 1: retry by walking successors until the
+		// probe budget is spent (the pseudocode's predecessor branch is
+		// unreachable — its guard tests the original target ID, which by
+		// construction always lies inside the interval). Successor
+		// retries also discover replicas stored past the home node.
+		cur := home
+		for probes := 1; probes < lim; probes++ {
+			next, err := d.overlay.Successor(cur)
+			if err != nil {
+				return cost, err
+			}
+			if next == home {
+				return cost, nil // wrapped all the way around a tiny ring
+			}
+			cur = next
+			if probe(cur, 1) {
+				return cost, nil
+			}
+		}
+		return cost, nil
+	}
+
+	// Edge-aware variant (an ablation beyond the paper): exploit the
+	// globally known interval boundaries to skip probes that cannot
+	// succeed.
+	//
+	// Successor phase: continue while the just-probed node sat inside
+	// the interval — its successor may own further interval keys (a node
+	// just past the interval's top owns the trailing gap).
+	cur := home
+	probes := 1
+	for probes < lim && inInterval(cur.ID()) {
+		next, err := d.overlay.Successor(cur)
+		if err != nil {
+			return cost, err
+		}
+		if next == home {
+			return cost, nil // wrapped all the way around a tiny ring
+		}
+		cur = next
+		probes++
+		if probe(cur, 1) {
+			return cost, nil
+		}
+	}
+
+	// Predecessor phase: walk down from the first probed node while the
+	// predecessors still lie inside the interval (nodes below it own no
+	// interval keys).
+	back := home
+	for probes < lim {
+		prev, err := d.overlay.Predecessor(back)
+		if err != nil {
+			return cost, err
+		}
+		if prev == home || !inInterval(prev.ID()) {
+			break
+		}
+		back = prev
+		probes++
+		if probe(back, 1) {
+			return cost, nil
+		}
+	}
+	return cost, nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dhsketch/internal/dht"
+	"dhsketch/internal/hashutil"
+	"dhsketch/internal/md4"
+	"dhsketch/internal/sim"
+	"dhsketch/internal/sketch"
+)
+
+// DHS is a Distributed Hash Sketch handle. It is a client-side view: all
+// persistent state lives in the per-node Stores on the overlay, so any
+// number of DHS handles with the same parameters interoperate — exactly
+// the paper's fully decentralized model.
+type DHS struct {
+	cfg     Config
+	overlay dht.Overlay
+	env     *sim.Env
+	rng     *rand.Rand
+	c       uint // log2(M)
+	maxBit  uint // highest usable bit position (k - log2 m)
+}
+
+// New validates the configuration and returns a DHS handle.
+func New(cfg Config) (*DHS, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var c uint
+	if cfg.M > 1 {
+		c = hashutil.Log2(uint64(cfg.M))
+	}
+	return &DHS{
+		cfg:     cfg,
+		overlay: cfg.Overlay,
+		env:     cfg.Env,
+		rng:     cfg.Env.Derive("dhs"),
+		c:       c,
+		maxBit:  cfg.K - c,
+	}, nil
+}
+
+// Config returns the (defaulted) configuration of the handle.
+func (d *DHS) Config() Config { return d.cfg }
+
+// MaxBit returns the highest usable bit position k − log₂(m); the
+// counting scan covers positions [ShiftBits, MaxBit].
+func (d *DHS) MaxBit() uint { return d.maxBit }
+
+// MetricID derives a metric identifier from a human-readable name, e.g.
+// "relation-R/cardinality" or "relation-R/attr-a/bucket-17". Estimated
+// metrics range from network parameters to histogram buckets (§3.2).
+func MetricID(name string) uint64 {
+	return md4.Sum64([]byte("metric|" + name))
+}
+
+// ItemID derives an item's DHT key from a label — the simulation stand-in
+// for hashing a document's content or a tuple's primary key.
+func ItemID(label string) uint64 {
+	return md4.Sum64([]byte("item|" + label))
+}
+
+// split maps an item's DHT key to (vector, bit position) per §3.4:
+// vector = lsb_k(id) mod m, bit = ρ(lsb_k(id) div m).
+func (d *DHS) split(itemID uint64) (vector int32, bit uint) {
+	if d.cfg.M == 1 {
+		return 0, hashutil.Rho(hashutil.Lsb(itemID, d.cfg.K), d.cfg.K)
+	}
+	v, r := hashutil.Split(itemID, d.cfg.K, d.cfg.M)
+	return int32(v), r
+}
+
+// intervalForBit returns the ID-space interval that stores the given bit
+// position. With the §3.5 bit-shift variant (ShiftBits = b), bit i is
+// stored in the larger interval I_{i−b} ("assigning the ith DHT interval
+// to the (i+b)th bit"): its placements then spread over about 2^b times
+// more distinct nodes, so no single node's crash can erase a sparse bit.
+// The price — the paper does not analyze it — is findability: per-node
+// placement density drops by the same 2^b factor, so counting a shifted
+// DHS needs a correspondingly larger probe budget (raise Lim or use
+// CountAdaptive). Bits below b are never stored; they are assumed set,
+// valid when the counted cardinality is well beyond 2^b per vector.
+func (d *DHS) intervalForBit(bit uint) (lo, size uint64) {
+	return hashutil.Interval(d.overlay.Bits(), d.cfg.K, bit-d.cfg.ShiftBits)
+}
+
+// storable reports whether a bit position is recorded at all: with
+// ShiftBits = b, positions below b are assumed set and never stored.
+func (d *DHS) storable(bit uint) bool {
+	return bit >= d.cfg.ShiftBits
+}
+
+// randomIDInIntervalFor draws a uniform target identifier for the bit's
+// interval.
+func (d *DHS) randomIDInIntervalFor(bit uint) uint64 {
+	lo, size := d.intervalForBit(bit)
+	return sim.UniformIn(d.rng, lo, size)
+}
+
+// Estimate is the result of one counting operation, with the cost
+// breakdown the paper's evaluation tables report.
+type Estimate struct {
+	// Value is the estimated cardinality.
+	Value float64
+	// R holds the reconstructed per-vector statistics: maximum set bit
+	// (sLL/LogLog/HLL; -1 if none found) or leftmost zero bit (PCSA).
+	R []int
+	// Cost aggregates the network cost of the operation.
+	Cost CountCost
+}
+
+// CountCost itemizes what a counting operation consumed.
+type CountCost struct {
+	Lookups      int   // routed DHT lookups (one per probed interval)
+	NodesVisited int   // total nodes probed, including retry walks
+	Hops         int64 // overlay hops (lookup routes + 1-hop retries)
+	Bytes        int64 // wire bytes under the §5.1 size model
+}
+
+func (c *CountCost) add(other CountCost) {
+	c.Lookups += other.Lookups
+	c.NodesVisited += other.NodesVisited
+	c.Hops += other.Hops
+	c.Bytes += other.Bytes
+}
+
+// estimateFromR turns reconstructed per-vector statistics into a
+// cardinality estimate using the configured estimator family.
+func (d *DHS) estimateFromR(R []int) float64 {
+	switch d.cfg.Kind {
+	case sketch.KindPCSA:
+		return sketch.EstimatePCSA(R)
+	case sketch.KindSuperLogLog:
+		return sketch.EstimateSuperLogLog(ranksFromMaxBits(R))
+	case sketch.KindLogLog:
+		return sketch.EstimateLogLog(ranksFromMaxBits(R))
+	case sketch.KindHyperLogLog:
+		return sketch.EstimateHyperLogLog(ranksFromMaxBits(R))
+	default:
+		panic(fmt.Sprintf("core: unknown estimator kind %v", d.cfg.Kind))
+	}
+}
+
+// ranksFromMaxBits converts 0-based maximum bit positions (-1 = vector
+// never observed) to the 1-based ranks the LogLog-family formulas expect.
+func ranksFromMaxBits(R []int) []int {
+	ranks := make([]int, len(R))
+	for i, r := range R {
+		ranks[i] = r + 1
+	}
+	return ranks
+}
+
+// StorageBytesPerNode returns the current DHS storage footprint of every
+// live node in wire-model bytes, in ring order — the input to the storage
+// load-balance analysis.
+func (d *DHS) StorageBytesPerNode() []int64 {
+	now := d.env.Clock.Now()
+	nodes := d.overlay.Nodes()
+	out := make([]int64, len(nodes))
+	for i, n := range nodes {
+		if s, ok := n.App().(*Store); ok {
+			out[i] = s.Bytes(now)
+		}
+	}
+	return out
+}
+
+// TotalTuples returns the number of live tuples across the overlay.
+func (d *DHS) TotalTuples() int {
+	now := d.env.Clock.Now()
+	total := 0
+	for _, n := range d.overlay.Nodes() {
+		if s, ok := n.App().(*Store); ok {
+			total += s.Len(now)
+		}
+	}
+	return total
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dhsketch/internal/sketch"
+)
+
+// TestIndependentHandlesInteroperate pins the decentralization model: a
+// DHS handle is only a client-side view, so a handle created later, with
+// no shared state beyond equal parameters, must count what another
+// handle inserted — and insertions interleaved through both handles form
+// one coherent sketch.
+func TestIndependentHandlesInteroperate(t *testing.T) {
+	d1, ring, env := testDHS(t, 97, 64, Config{M: 32, Kind: sketch.KindSuperLogLog})
+	metric := MetricID("interop")
+
+	const n = 50000
+	for i := 0; i < n/2; i++ {
+		if _, err := d1.Insert(metric, ItemID(fmt.Sprintf("io-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A second handle over the same overlay, created independently.
+	d2, err := New(Config{Overlay: ring, Env: env, M: 32, Kind: sketch.KindSuperLogLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := n / 2; i < n; i++ {
+		if _, err := d2.Insert(metric, ItemID(fmt.Sprintf("io-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	est, err := d2.Count(metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(est.Value-n) / n; e > 3*sketch.KindSuperLogLog.StdError(32) {
+		t.Errorf("cross-handle estimate error %.3f", e)
+	}
+
+	// A PCSA-view handle reads the same distributed state with its own
+	// estimator (insertion is estimator-agnostic, §2.2.2).
+	d3, err := New(Config{Overlay: ring, Env: env, M: 32, Kind: sketch.KindPCSA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est3, err := d3.Count(metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(est3.Value-n) / n; e > 3*sketch.KindPCSA.StdError(32) {
+		t.Errorf("PCSA view over sLL-inserted state: error %.3f", e)
+	}
+}
+
+// TestMismatchedParametersCorrupt reminds implementers why parameters
+// must be deployment-wide constants: a handle with a different m maps
+// items to different (vector, bit) pairs, so its view of the same metric
+// is garbage. This is a documented sharp edge, not a defect.
+func TestMismatchedParametersCorrupt(t *testing.T) {
+	d1, ring, env := testDHS(t, 101, 64, Config{M: 64, Kind: sketch.KindSuperLogLog})
+	metric := MetricID("mismatch")
+	insertItems(t, d1, metric, 50000, "mm")
+
+	dWrong, err := New(Config{Overlay: ring, Env: env, M: 8, Kind: sketch.KindSuperLogLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := dWrong.CountFrom(ring.Nodes()[0], metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mismatched view sees vectors 0..7 of a 64-vector sketch as if
+	// they were the whole sketch: wildly wrong (and that is the point).
+	if e := math.Abs(est.Value-50000) / 50000; e < 0.3 {
+		t.Logf("note: mismatched handle was accidentally accurate (%.3f); acceptable but unusual", e)
+	}
+}

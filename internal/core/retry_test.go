@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestEmptyProbeProbabilityBasics(t *testing.T) {
+	// With as many probes as nodes, some probe must hit a non-empty bin
+	// whenever items exist.
+	if got := EmptyProbeProbability(10, 5, 10); got != 0 {
+		t.Errorf("P(all empty with t=N) = %v", got)
+	}
+	// No items: every probe is empty.
+	if got := EmptyProbeProbability(10, 0, 3); got != 1 {
+		t.Errorf("P with no items = %v", got)
+	}
+	// Eq. 5 directly: ((N-t)/N)^n.
+	want := math.Pow(0.7, 20)
+	if got := EmptyProbeProbability(10, 20, 3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("eq.5 = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyProbeProbabilityMonotone(t *testing.T) {
+	// More probes → lower probability of all-empty; more items → lower.
+	for tprobe := 1; tprobe < 9; tprobe++ {
+		if EmptyProbeProbability(10, 5, tprobe+1) >= EmptyProbeProbability(10, 5, tprobe) {
+			t.Errorf("not decreasing in t at t=%d", tprobe)
+		}
+	}
+	for n := 1.0; n < 100; n *= 2 {
+		if EmptyProbeProbability(10, 2*n, 3) >= EmptyProbeProbability(10, n, 3) {
+			t.Errorf("not decreasing in n at n=%v", n)
+		}
+	}
+}
+
+func TestRetryLimitSatisfiesTarget(t *testing.T) {
+	// lim from eq. 6 must actually achieve success probability ≥ p under
+	// eq. 5: P(all lim probes empty) ≤ 1-p.
+	cases := []struct {
+		nodes, items float64
+		m            int
+	}{
+		{64, 64, 1},
+		{64, 640, 1},
+		{128, 128, 4},
+		{1000, 500, 1},
+		{32, 4096, 8},
+	}
+	for _, c := range cases {
+		for _, p := range []float64{0.9, 0.99} {
+			lim := RetryLimit(c.nodes, c.items, p, c.m, 0)
+			// eq. 6 divides the items across m vectors.
+			perVector := c.items / float64(c.m)
+			pAllEmpty := EmptyProbeProbability(c.nodes, perVector, lim)
+			if pAllEmpty > (1-p)+1e-9 {
+				t.Errorf("nodes=%v items=%v m=%d p=%v: lim=%d leaves P(miss)=%v > %v",
+					c.nodes, c.items, c.m, p, lim, pAllEmpty, 1-p)
+			}
+		}
+	}
+}
+
+func TestRetryLimitDefaultRegime(t *testing.T) {
+	// §4.1: the default lim = 5 suffices for p ≥ 0.99 whenever the
+	// number of items mapped to an interval is at least the number of
+	// nodes in it (α ≥ 1, m = 1... the paper states n ≥ m·N).
+	for _, nodes := range []float64{8, 64, 512, 4096} {
+		lim := RetryLimit(nodes, nodes, 0.99, 1, 0)
+		if lim > 5 {
+			t.Errorf("alpha=1, N'=%v: lim=%d exceeds the paper's default 5", nodes, lim)
+		}
+	}
+}
+
+func TestRetryLimitMonotonicity(t *testing.T) {
+	// Higher confidence needs more probes; replication needs fewer;
+	// more vectors (fewer items per vector) need more.
+	if RetryLimit(100, 100, 0.999, 1, 0) < RetryLimit(100, 100, 0.9, 1, 0) {
+		t.Error("lim not monotone in p")
+	}
+	if RetryLimit(100, 100, 0.99, 1, 4) > RetryLimit(100, 100, 0.99, 1, 0) {
+		t.Error("replication should not increase lim")
+	}
+	if RetryLimit(100, 100, 0.99, 16, 0) < RetryLimit(100, 100, 0.99, 1, 0) {
+		t.Error("more vectors should not decrease lim")
+	}
+}
+
+func TestRetryLimitEdgeCases(t *testing.T) {
+	if RetryLimit(0, 10, 0.99, 1, 0) != 1 {
+		t.Error("empty interval should clamp to 1")
+	}
+	if RetryLimit(10, 0, 0.99, 1, 0) != 1 {
+		t.Error("no items should clamp to 1")
+	}
+	if RetryLimit(10, 10, 0, 1, 0) != 1 {
+		t.Error("p=0 should clamp to 1")
+	}
+	if got := RetryLimit(10, 10, 1, 1, 0); got != 10 {
+		t.Errorf("p=1 should require every node, got %d", got)
+	}
+	if RetryLimit(10, 10, 0.99, 1, 0) != RetryLimit(10, 10, 0.99, 1, 1) {
+		t.Error("R=0 and R=1 should coincide")
+	}
+}
+
+func TestRetryLimitForIntervalDecreasesWithBit(t *testing.T) {
+	// §4.1: smaller intervals (higher r) have lower lim — "the
+	// interval(s) responsible for the least significant bit of the
+	// bitmap(s) will have the largest lim value(s)".
+	prev := math.MaxInt32
+	for r := uint(0); r < 10; r++ {
+		lim := RetryLimitForInterval(1024, 1024*100, r, 0.99, 512, 0)
+		if lim > prev {
+			t.Errorf("lim grew with r at r=%d: %d > %d", r, lim, prev)
+		}
+		prev = lim
+	}
+}
+
+func TestEmptyProbeProbabilityAgainstSimulation(t *testing.T) {
+	// Validate eq. 5 empirically: throw n items into N bins, probe t
+	// distinct bins, and compare the miss rate with the formula.
+	const (
+		nodes  = 40
+		items  = 25
+		probes = 3
+		trials = 20000
+	)
+	rng := rand.New(rand.NewPCG(123, 456))
+	misses := 0
+	for trial := 0; trial < trials; trial++ {
+		var bins [nodes]int
+		for i := 0; i < items; i++ {
+			bins[rng.IntN(nodes)]++
+		}
+		// Probe `probes` distinct bins (partial Fisher–Yates).
+		perm := rng.Perm(nodes)
+		empty := true
+		for _, b := range perm[:probes] {
+			if bins[b] > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			misses++
+		}
+	}
+	got := float64(misses) / trials
+	want := EmptyProbeProbability(nodes, items, probes)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("empirical P(miss) = %.4f, eq.5 predicts %.4f", got, want)
+	}
+}

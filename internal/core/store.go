@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+
+	"dhsketch/internal/dht"
+)
+
+// TupleKey identifies one DHS bit: which metric, which bitmap vector, and
+// which bit position. The on-the-wire form is the paper's
+// <metric_id, vector_id, bit, time_out> tuple; time_out is the value, not
+// part of the key.
+type TupleKey struct {
+	Metric uint64
+	Vector int32
+	Bit    uint8
+}
+
+// Store is the per-node DHS state: the set of bits this node is
+// responsible for, each with its soft-state expiry time. A node stores at
+// most one tuple per (metric, vector, bit); repeated insertions of items
+// mapping to the same bit merely refresh the timestamp (§3.2: "if multiple
+// items set the bit stored on a given node, the storing node will only
+// maintain data for one bit and update its timestamp field accordingly").
+type Store struct {
+	tuples map[TupleKey]int64 // key → expiry tick (math.MaxInt64 = no expiry)
+}
+
+// storeOf returns the DHS store attached to the node, creating it on
+// first use.
+func storeOf(n dht.Node) *Store {
+	if s, ok := n.App().(*Store); ok {
+		return s
+	}
+	s := &Store{tuples: make(map[TupleKey]int64)}
+	n.SetApp(s)
+	return s
+}
+
+// Set records (or refreshes) one bit with the given expiry tick.
+func (s *Store) Set(k TupleKey, expiry int64) {
+	s.tuples[k] = expiry
+}
+
+// Has reports whether the bit is present and unexpired at time now.
+// Expired tuples are garbage-collected on the way (implicit deletion,
+// §3.3: "deleting an item incurs no extra cost").
+func (s *Store) Has(k TupleKey, now int64) bool {
+	exp, ok := s.tuples[k]
+	if !ok {
+		return false
+	}
+	if exp < now {
+		delete(s.tuples, k)
+		return false
+	}
+	return true
+}
+
+// VectorsWithBit returns, for the given metric and bit position, the set
+// of vector indices whose bit is present and live at this node. The reply
+// to a counting probe carries exactly this information, one bit per
+// vector (⌈m/8⌉ bytes per metric).
+func (s *Store) VectorsWithBit(metric uint64, bit uint8, now int64) []int32 {
+	var out []int32
+	for k, exp := range s.tuples {
+		if k.Metric != metric || k.Bit != bit {
+			continue
+		}
+		if exp < now {
+			delete(s.tuples, k)
+			continue
+		}
+		out = append(out, k.Vector)
+	}
+	return out
+}
+
+// Len returns the number of live tuples at time now, garbage-collecting
+// expired ones.
+func (s *Store) Len(now int64) int {
+	for k, exp := range s.tuples {
+		if exp < now {
+			delete(s.tuples, k)
+		}
+	}
+	return len(s.tuples)
+}
+
+// Bytes returns the storage footprint of the live tuples at time now in
+// wire-model bytes.
+func (s *Store) Bytes(now int64) int64 {
+	return int64(s.Len(now)) * TupleBytes
+}
+
+// expiryFor converts a TTL into an absolute expiry tick.
+func expiryFor(now, ttl int64) int64 {
+	if ttl == 0 {
+		return math.MaxInt64
+	}
+	return now + ttl
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dhsketch/internal/chord"
+	"dhsketch/internal/sim"
+)
+
+func TestStoreSetHas(t *testing.T) {
+	s := &Store{tuples: map[TupleKey]int64{}}
+	k := TupleKey{Metric: 1, Vector: 2, Bit: 3}
+	if s.Has(k, 0) {
+		t.Error("empty store reports a bit")
+	}
+	s.Set(k, 100)
+	if !s.Has(k, 0) || !s.Has(k, 100) {
+		t.Error("stored bit not found before expiry")
+	}
+	if s.Has(k, 101) {
+		t.Error("expired bit still reported")
+	}
+	// Expired lookup must garbage-collect the tuple.
+	if len(s.tuples) != 0 {
+		t.Error("expired tuple not collected")
+	}
+}
+
+func TestStoreRefreshExtendsExpiry(t *testing.T) {
+	s := &Store{tuples: map[TupleKey]int64{}}
+	k := TupleKey{Metric: 9}
+	s.Set(k, 10)
+	s.Set(k, 50) // refresh
+	if !s.Has(k, 30) {
+		t.Error("refresh did not extend lifetime")
+	}
+}
+
+func TestStoreVectorsWithBit(t *testing.T) {
+	s := &Store{tuples: map[TupleKey]int64{}}
+	s.Set(TupleKey{Metric: 7, Vector: 0, Bit: 4}, 100)
+	s.Set(TupleKey{Metric: 7, Vector: 3, Bit: 4}, 100)
+	s.Set(TupleKey{Metric: 7, Vector: 5, Bit: 2}, 100) // different bit
+	s.Set(TupleKey{Metric: 8, Vector: 1, Bit: 4}, 100) // different metric
+	s.Set(TupleKey{Metric: 7, Vector: 9, Bit: 4}, 10)  // will expire
+
+	got := s.VectorsWithBit(7, 4, 50)
+	seen := map[int32]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	if len(got) != 2 || !seen[0] || !seen[3] {
+		t.Errorf("VectorsWithBit = %v, want {0,3}", got)
+	}
+}
+
+func TestStoreLenAndBytes(t *testing.T) {
+	s := &Store{tuples: map[TupleKey]int64{}}
+	s.Set(TupleKey{Vector: 1}, 100)
+	s.Set(TupleKey{Vector: 2}, 10)
+	if s.Len(0) != 2 {
+		t.Errorf("Len = %d", s.Len(0))
+	}
+	if s.Len(50) != 1 {
+		t.Errorf("Len after expiry = %d", s.Len(50))
+	}
+	if s.Bytes(50) != TupleBytes {
+		t.Errorf("Bytes = %d", s.Bytes(50))
+	}
+}
+
+func TestStoreOfAttaches(t *testing.T) {
+	env := sim.NewEnv(1)
+	ring := chord.New(env, 4)
+	n := ring.Nodes()[0]
+	s1 := storeOf(n)
+	s2 := storeOf(n)
+	if s1 != s2 {
+		t.Error("storeOf created two stores for one node")
+	}
+	s1.Set(TupleKey{Metric: 1}, 10)
+	if !storeOf(n).Has(TupleKey{Metric: 1}, 0) {
+		t.Error("state not persisted on node")
+	}
+}
+
+func TestExpiryFor(t *testing.T) {
+	if expiryFor(100, 0) != math.MaxInt64 {
+		t.Error("TTL 0 should never expire")
+	}
+	if expiryFor(100, 50) != 150 {
+		t.Errorf("expiryFor(100,50) = %d", expiryFor(100, 50))
+	}
+}

@@ -1,0 +1,81 @@
+// Package dht defines the structured-overlay abstraction that Distributed
+// Hash Sketches build on. The paper's design is deliberately DHT-agnostic:
+// DHS needs only the primitives below — routed lookups with measurable hop
+// counts, successor/predecessor walks for the counting algorithm's retry
+// phase, and a place on each node to keep application state. Any overlay
+// conforming to this interface (Chord, Pastry, Kademlia, ...) can host a
+// DHS; the repository ships a Chord-like implementation in package chord.
+package dht
+
+import "errors"
+
+// ErrNoRoute is returned when a lookup cannot complete, e.g. because the
+// overlay is empty or routing exceeded its hop budget.
+var ErrNoRoute = errors.New("dht: no route to key")
+
+// ErrNodeDown is returned by operations addressed to a failed node.
+var ErrNodeDown = errors.New("dht: node is down")
+
+// Counters records per-node load, used to verify the paper's constraint 3
+// (access and storage load balancing).
+type Counters struct {
+	Routed   int64 // times this node forwarded a routed message
+	Probed   int64 // times this node answered a DHS probe
+	StoreOps int64 // times this node handled a DHS store/refresh
+}
+
+// Node is one overlay node as seen by the application layer.
+type Node interface {
+	// ID returns the node's identifier in the overlay's ID space.
+	ID() uint64
+
+	// Alive reports whether the node is currently up.
+	Alive() bool
+
+	// App returns the application state attached to the node (nil until
+	// SetApp is called). DHS attaches its per-node tuple store here.
+	App() any
+
+	// SetApp attaches application state to the node.
+	SetApp(state any)
+
+	// Counters returns the node's mutable load counters.
+	Counters() *Counters
+}
+
+// Overlay is the structured peer-to-peer network DHS runs over.
+type Overlay interface {
+	// Bits returns the identifier length L in bits (the paper's L).
+	Bits() uint
+
+	// Size returns the number of live nodes N.
+	Size() int
+
+	// Nodes returns a snapshot of the live nodes in ID order.
+	Nodes() []Node
+
+	// RandomNode returns a uniformly chosen live node, typically the
+	// originator of an insertion or counting operation.
+	RandomNode() Node
+
+	// Owner returns the live node responsible for key — the key's
+	// clockwise successor — without simulating any routing. Callers use
+	// it as ground truth; it costs no hops.
+	Owner(key uint64) (Node, error)
+
+	// Lookup routes to the owner of key from a random node and returns
+	// the owner plus the number of overlay hops traversed. The caller is
+	// responsible for accounting the hops against its traffic meter.
+	Lookup(key uint64) (Node, int, error)
+
+	// LookupFrom routes to the owner of key starting at src.
+	LookupFrom(src Node, key uint64) (Node, int, error)
+
+	// Successor returns the live node immediately following n on the
+	// ring; reaching it costs one hop (the counting algorithm's retry
+	// step).
+	Successor(n Node) (Node, error)
+
+	// Predecessor returns the live node immediately preceding n.
+	Predecessor(n Node) (Node, error)
+}

@@ -1,0 +1,59 @@
+package dht_test
+
+import (
+	"errors"
+	"testing"
+
+	"dhsketch/internal/chord"
+	"dhsketch/internal/dht"
+	"dhsketch/internal/kademlia"
+	"dhsketch/internal/sim"
+)
+
+// The package is almost pure interface; these tests pin the contract
+// surface: sentinel errors are distinct and wrapped correctly, both
+// overlay implementations satisfy the interface, and Counters is a plain
+// mutable value.
+
+func TestSentinelErrors(t *testing.T) {
+	if errors.Is(dht.ErrNoRoute, dht.ErrNodeDown) {
+		t.Error("sentinel errors must be distinct")
+	}
+	wrapped := errors.Join(dht.ErrNoRoute)
+	if !errors.Is(wrapped, dht.ErrNoRoute) {
+		t.Error("ErrNoRoute does not survive wrapping")
+	}
+}
+
+func TestImplementationsSatisfyOverlay(t *testing.T) {
+	var impls = []dht.Overlay{
+		chord.New(sim.NewEnv(1), 4),
+		kademlia.New(sim.NewEnv(1), 4),
+	}
+	for _, o := range impls {
+		if o.Bits() != 64 {
+			t.Errorf("%T: Bits = %d", o, o.Bits())
+		}
+		if o.Size() != 4 {
+			t.Errorf("%T: Size = %d", o, o.Size())
+		}
+		n := o.RandomNode()
+		if n == nil || !n.Alive() {
+			t.Fatalf("%T: bad random node", o)
+		}
+		// App attachment contract.
+		n.SetApp("state")
+		if n.App() != "state" {
+			t.Errorf("%T: App round trip failed", o)
+		}
+		n.SetApp(nil)
+		if n.App() != nil {
+			t.Errorf("%T: App not clearable", o)
+		}
+		// Counters are mutable in place.
+		n.Counters().Probed++
+		if n.Counters().Probed != 1 {
+			t.Errorf("%T: Counters not mutable", o)
+		}
+	}
+}

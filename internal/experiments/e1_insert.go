@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dhsketch/internal/core"
+	"dhsketch/internal/sketch"
+	"dhsketch/internal/stats"
+	"dhsketch/internal/workload"
+)
+
+// E1Result reproduces §5.2 "Insertions and Maintenance": per-insertion
+// routing cost, bandwidth, and per-node storage, plus the bulk-insertion
+// ablation DESIGN.md calls out.
+type E1Result struct {
+	Params Params
+	// AvgHopsPerInsert is the paper's "3.4 hops on average".
+	AvgHopsPerInsert float64
+	// AvgBytesPerInsert is the paper's "~27 bytes per insertion".
+	AvgBytesPerInsert float64
+	// PerRelation records insertion stats per relation.
+	PerRelation []E1Relation
+	// StoragePerNodeMean/Max summarize the per-node DHS footprint after
+	// all relations (cardinality metrics + histogram buckets) are in.
+	StoragePerNodeMean float64
+	StoragePerNodeMax  float64
+	// StorageGini scores storage balance (0 = perfectly uniform).
+	StorageGini float64
+	// BulkLookupsPerNode is the ablation: lookups needed by one node to
+	// bulk-insert 1000 items (the paper's bound: at most k).
+	BulkLookupsPerNode int
+}
+
+// E1Relation is one relation's insertion cost.
+type E1Relation struct {
+	Name     string
+	Tuples   int
+	AvgHops  float64
+	AvgBytes float64
+}
+
+// RunE1 inserts the four scaled relations — each tuple into its
+// relation's cardinality metric and its histogram bucket metric — and
+// measures insertion and storage costs.
+func RunE1(p Params) (*E1Result, error) {
+	p = p.Defaults()
+	s, err := newSetup(p, p.M, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := s.byKind[sketch.KindSuperLogLog]
+	rels := workload.PaperRelations(p.Scale)
+
+	res := &E1Result{Params: p}
+	var total insertStats
+	nodes := s.ring.Nodes()
+	for _, rel := range rels {
+		spec := histSpec(rel, p.Buckets)
+		gen := workload.NewGenerator(rel, p.Seed)
+		placer := s.env.Derive("placement|" + rel.Name)
+		var st insertStats
+		for {
+			tup, ok := gen.Next()
+			if !ok {
+				break
+			}
+			src := nodes[placer.IntN(len(nodes))]
+			c1, err := d.InsertFrom(src, cardinalityMetric(rel.Name), tup.ID)
+			if err != nil {
+				return nil, err
+			}
+			c2, err := d.InsertFrom(src, spec.MetricFor(spec.BucketOf(tup.Attr)), tup.ID)
+			if err != nil {
+				return nil, err
+			}
+			st.add(c1)
+			st.add(c2)
+		}
+		total.Items += st.Items
+		total.Lookups += st.Lookups
+		total.Hops += st.Hops
+		total.Bytes += st.Bytes
+		res.PerRelation = append(res.PerRelation, E1Relation{
+			Name:     rel.Name,
+			Tuples:   rel.Tuples,
+			AvgHops:  st.AvgHops(),
+			AvgBytes: st.AvgBytes(),
+		})
+	}
+	res.AvgHopsPerInsert = total.AvgHops()
+	res.AvgBytesPerInsert = total.AvgBytes()
+
+	per := d.StorageBytesPerNode()
+	loads := make([]float64, len(per))
+	for i, b := range per {
+		loads[i] = float64(b)
+	}
+	res.StoragePerNodeMean = stats.Mean(loads)
+	res.StoragePerNodeMax = stats.Max(loads)
+	res.StorageGini = stats.Gini(loads)
+
+	// Bulk ablation: one node bulk-inserts 1000 fresh items under a new
+	// metric; the paper bounds the lookups by k.
+	bulkIDs := make([]uint64, 1000)
+	for i := range bulkIDs {
+		bulkIDs[i] = core.ItemID(fmt.Sprintf("e1-bulk-%d", i))
+	}
+	bc, err := d.BulkInsertFrom(s.randomSrc(), core.MetricID("e1-bulk"), bulkIDs)
+	if err != nil {
+		return nil, err
+	}
+	res.BulkLookupsPerNode = bc.Lookups
+	return res, nil
+}
+
+// Render writes the result as a table.
+func (r *E1Result) Render(w io.Writer) {
+	tw := newTable(w)
+	fmt.Fprintf(tw, "E1 insertions (N=%d, m=%d, scale=1/%d)\n", r.Params.Nodes, r.Params.M, r.Params.Scale)
+	fmt.Fprintln(tw, "relation\ttuples\thops/insert\tbytes/insert")
+	for _, rel := range r.PerRelation {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.1f\n", rel.Name, rel.Tuples, rel.AvgHops, rel.AvgBytes)
+	}
+	fmt.Fprintf(tw, "all\t\t%.2f\t%.1f\n", r.AvgHopsPerInsert, r.AvgBytesPerInsert)
+	fmt.Fprintf(tw, "storage/node\tmean %.1f kB\tmax %.1f kB\tGini %.3f\n",
+		kb(r.StoragePerNodeMean), kb(r.StoragePerNodeMax), r.StorageGini)
+	fmt.Fprintf(tw, "bulk insert\t1000 items\t%d lookups\t(bound: k=%d)\n",
+		r.BulkLookupsPerNode, r.Params.K)
+	tw.Flush()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dhsketch/internal/sketch"
+	"dhsketch/internal/workload"
+)
+
+// E2Row is one line of the paper's Table 2: counting costs and accuracy
+// for one bitmap count, super-LogLog and PCSA side by side.
+type E2Row struct {
+	M int
+	// Per estimation, averaged over relations × trials.
+	SLL, PCSA countStats
+}
+
+// E2Result reproduces Table 2, "Counting costs (sLL/PCSA)".
+type E2Result struct {
+	Params Params
+	Rows   []E2Row
+}
+
+// DefaultE2Ms are Table 2's bitmap counts.
+var DefaultE2Ms = []int{128, 256, 512, 1024}
+
+// RunE2 populates a fresh DHS per bitmap count with the four relations'
+// cardinality metrics, then measures counting cost and error for both
+// estimator families.
+func RunE2(p Params, ms []int) (*E2Result, error) {
+	p = p.Defaults()
+	if len(ms) == 0 {
+		ms = DefaultE2Ms
+	}
+	rels := workload.PaperRelations(p.Scale)
+	res := &E2Result{Params: p}
+	for _, m := range ms {
+		s, err := newSetup(p, m, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, rel := range rels {
+			if _, err := s.insertRelation(rel); err != nil {
+				return nil, err
+			}
+		}
+		row := E2Row{M: m}
+		if row.SLL, err = s.countRelations(sketch.KindSuperLogLog, rels, p.Trials); err != nil {
+			return nil, err
+		}
+		if row.PCSA, err = s.countRelations(sketch.KindPCSA, rels, p.Trials); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the result in the layout of the paper's Table 2.
+func (r *E2Result) Render(w io.Writer) {
+	tw := newTable(w)
+	fmt.Fprintf(tw, "E2 / Table 2: counting costs, sLL/PCSA (N=%d, scale=1/%d, %d trials)\n",
+		r.Params.Nodes, r.Params.Scale, r.Params.Trials)
+	fmt.Fprintln(tw, "m\tnodes visited\thops\tBW (kBytes)\terror (%)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%.0f / %.0f\t%.0f / %.0f\t%.1f / %.1f\t%.1f / %.1f\n",
+			row.M,
+			row.SLL.AvgVisited(), row.PCSA.AvgVisited(),
+			row.SLL.AvgHops(), row.PCSA.AvgHops(),
+			kb(row.SLL.AvgBytes()), kb(row.PCSA.AvgBytes()),
+			100*row.SLL.AvgErr(), 100*row.PCSA.AvgErr())
+	}
+	tw.Flush()
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"dhsketch/internal/sketch"
+	"dhsketch/internal/stats"
+)
+
+// E8Row is one estimator family × bitmap count of the stddev validation.
+type E8Row struct {
+	Kind sketch.Kind
+	M    int
+	// MeasuredStdDev is the standard deviation of the relative error
+	// over trials; Theory is the §2.2 prediction.
+	MeasuredStdDev float64
+	Theory         float64
+	// Bias is the mean signed relative error (should be ≈ 0).
+	Bias float64
+}
+
+// E8Result validates the estimator theory of §2.2 with local (non-
+// distributed) sketches: measured standard deviation versus the quoted
+// 0.78/√m (PCSA) and 1.05/√m (super-LogLog), plus unbiasedness. It also
+// scores plain LogLog and HyperLogLog, the ablation for the θ₀
+// truncation rule.
+type E8Result struct {
+	Params Params
+	N      int // distinct items per trial
+	Trials int
+	Rows   []E8Row
+}
+
+// DefaultE8Ms are the bitmap counts for the stddev validation.
+var DefaultE8Ms = []int{64, 256, 1024}
+
+// RunE8 runs many independent local-sketch trials per configuration.
+func RunE8(p Params, ms []int) (*E8Result, error) {
+	p = p.Defaults()
+	if len(ms) == 0 {
+		ms = DefaultE8Ms
+	}
+	const n = 200000
+	trials := p.Trials * 5 // stddev needs more samples than a mean
+	res := &E8Result{Params: p, N: n, Trials: trials}
+	for _, kind := range []sketch.Kind{sketch.KindPCSA, sketch.KindSuperLogLog, sketch.KindLogLog, sketch.KindHyperLogLog} {
+		for _, m := range ms {
+			errs := make([]float64, trials)
+			for t := 0; t < trials; t++ {
+				e, err := sketch.New(kind, m, 24)
+				if err != nil {
+					return nil, err
+				}
+				rng := rand.New(rand.NewPCG(p.Seed, uint64(t)<<20|uint64(m)))
+				for i := 0; i < n; i++ {
+					e.Add(rng.Uint64())
+				}
+				errs[t] = (e.Estimate() - n) / n
+			}
+			res.Rows = append(res.Rows, E8Row{
+				Kind:           kind,
+				M:              m,
+				MeasuredStdDev: stats.StdDev(errs),
+				Theory:         kind.StdError(m),
+				Bias:           stats.Mean(errs),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the stddev validation table.
+func (r *E8Result) Render(w io.Writer) {
+	tw := newTable(w)
+	fmt.Fprintf(tw, "E8 estimator stddev validation (n=%d, %d trials)\n", r.N, r.Trials)
+	fmt.Fprintln(tw, "estimator\tm\tmeasured σ %\ttheory σ %\tbias %")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%v\t%d\t%.2f\t%.2f\t%+.2f\n",
+			row.Kind, row.M, 100*row.MeasuredStdDev, 100*row.Theory, 100*row.Bias)
+	}
+	tw.Flush()
+}

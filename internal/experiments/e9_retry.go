@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"dhsketch/internal/core"
+)
+
+// E9Row compares eq. 5's predicted miss probability against a balls-into-
+// bins simulation, and shows eq. 6's lim for the configuration.
+type E9Row struct {
+	Nodes, Items int
+	Probes       int
+	// PredictedMiss is eq. 5; SimulatedMiss is the Monte-Carlo rate.
+	PredictedMiss, SimulatedMiss float64
+	// Lim99 is eq. 6's probe budget for p = 0.99.
+	Lim99 int
+}
+
+// E9Result validates the §4.1 retry analysis: the probability of probing
+// only empty nodes (eq. 5) and the derived probe budget (eq. 6),
+// including the paper's claim that the default lim = 5 suffices at
+// α = n'/N' ≥ 1.
+type E9Result struct {
+	Params Params
+	Rows   []E9Row
+	// DefaultLimSufficient reports whether lim ≤ 5 held for every α ≥ 1
+	// configuration tested.
+	DefaultLimSufficient bool
+}
+
+// RunE9 sweeps interval configurations across the α spectrum.
+func RunE9(p Params) (*E9Result, error) {
+	p = p.Defaults()
+	rng := rand.New(rand.NewPCG(p.Seed, 0xE9))
+	res := &E9Result{Params: p, DefaultLimSufficient: true}
+	cases := []struct{ nodes, items, probes int }{
+		{64, 16, 5},   // α = 0.25: sparse interval, misses expected
+		{64, 64, 5},   // α = 1: the guarantee boundary
+		{64, 256, 5},  // α = 4
+		{256, 256, 5}, // α = 1 at larger interval
+		{256, 64, 5},  // α = 0.25
+		{32, 320, 3},  // α = 10, smaller budget
+	}
+	const trials = 30000
+	for _, c := range cases {
+		misses := 0
+		bins := make([]int, c.nodes)
+		for t := 0; t < trials; t++ {
+			for i := range bins {
+				bins[i] = 0
+			}
+			for i := 0; i < c.items; i++ {
+				bins[rng.IntN(c.nodes)]++
+			}
+			empty := true
+			// Probe distinct random bins.
+			perm := rng.Perm(c.nodes)
+			for _, b := range perm[:c.probes] {
+				if bins[b] > 0 {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				misses++
+			}
+		}
+		lim := core.RetryLimit(float64(c.nodes), float64(c.items), 0.99, 1, 0)
+		if c.items >= c.nodes && lim > 5 {
+			res.DefaultLimSufficient = false
+		}
+		res.Rows = append(res.Rows, E9Row{
+			Nodes:         c.nodes,
+			Items:         c.items,
+			Probes:        c.probes,
+			PredictedMiss: core.EmptyProbeProbability(float64(c.nodes), float64(c.items), c.probes),
+			SimulatedMiss: float64(misses) / trials,
+			Lim99:         lim,
+		})
+	}
+	return res, nil
+}
+
+// Render writes the retry-bound validation table.
+func (r *E9Result) Render(w io.Writer) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "E9 retry-bound validation (eq. 5/6)")
+	fmt.Fprintln(tw, "N'\tn'\tprobes\tP(miss) eq.5\tP(miss) sim\tlim(p=0.99)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.4f\t%.4f\t%d\n",
+			row.Nodes, row.Items, row.Probes, row.PredictedMiss, row.SimulatedMiss, row.Lim99)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "default lim=5 sufficient for alpha>=1: %v\n", r.DefaultLimSufficient)
+}

@@ -1,0 +1,107 @@
+// Package hashutil provides the bit-level primitives shared by the hash
+// sketch estimators and the DHS bit→interval mapping: the ρ(·) function of
+// Flajolet–Martin, low-order-bit extraction, and the exponential partition
+// thr(r) of the DHT identifier space described in §3.1 of the paper.
+package hashutil
+
+import "math/bits"
+
+// Rho returns the position of the least significant 1-bit in the binary
+// representation of y, i.e. ρ(y) = min{k ≥ 0 : bit(y,k) ≠ 0}. Following
+// the paper's convention, ρ(0) = width, where width is the length in bits
+// of the values being hashed.
+func Rho(y uint64, width uint) uint {
+	if y == 0 {
+		return width
+	}
+	return uint(bits.TrailingZeros64(y))
+}
+
+// Bit returns the k-th bit of y (bit 0 is the least significant).
+func Bit(y uint64, k uint) uint64 {
+	return (y >> k) & 1
+}
+
+// Lsb returns the k low-order bits of y. Lsb(y, 64) returns y itself.
+func Lsb(y uint64, k uint) uint64 {
+	if k >= 64 {
+		return y
+	}
+	return y & (1<<k - 1)
+}
+
+// Log2 returns log₂(m) for a power of two m. It panics otherwise: DHS
+// requires the number of bitmap vectors to be a power of two so that
+// vector selection and bit-position extraction partition the hash bits.
+func Log2(m uint64) uint {
+	if !IsPowerOfTwo(m) {
+		panic("hashutil: argument is not a power of two")
+	}
+	return uint(bits.TrailingZeros64(m))
+}
+
+// IsPowerOfTwo reports whether m is a positive power of two.
+func IsPowerOfTwo(m uint64) bool {
+	return m != 0 && m&(m-1) == 0
+}
+
+// Thr returns the interval threshold thr(r) = 2^(L-r-1) from §3.1. The
+// identifier space [0, 2^L) is partitioned into intervals
+// I_r = [thr(r), thr(r-1)) of exponentially decreasing size, so that bit r
+// of a hash-sketch bitmap — which is hit with probability 2^(-r-1) — is
+// spread over a 2^(-r-1) fraction of the nodes.
+//
+// L must be at most 64 and r strictly less than L.
+func Thr(L, r uint) uint64 {
+	if L > 64 || r >= L {
+		panic("hashutil: Thr out of range")
+	}
+	return 1 << (L - r - 1)
+}
+
+// Interval returns the identifier interval [lo, lo+size) that stores bit r
+// of a DHS bitmap in an L-bit identifier space partitioned into k+1 pieces.
+// For r < k the interval is I_r = [thr(r), thr(r-1)), which has size
+// thr(r). The all-zero remainder of the space, [0, thr(k-1)), is assigned
+// to r = k (the paper: "bit k is mapped to the interval [0, thr(k-1))"),
+// covering items whose k low-order hash bits are all zero.
+func Interval(L, k, r uint) (lo, size uint64) {
+	if k == 0 || k > L {
+		panic("hashutil: Interval requires 0 < k <= L")
+	}
+	if r > k {
+		panic("hashutil: bit position beyond bitmap length")
+	}
+	if r == k {
+		return 0, Thr(L, k-1)
+	}
+	t := Thr(L, r)
+	return t, t
+}
+
+// IntervalFor returns the index r of the interval containing identifier id,
+// the inverse of Interval. Identifiers below thr(k-1) belong to the
+// remainder interval r = k.
+func IntervalFor(L, k uint, id uint64) uint {
+	for r := uint(0); r < k; r++ {
+		if id >= Thr(L, r) {
+			return r
+		}
+	}
+	return k
+}
+
+// Split decomposes the k low-order bits of an identifier into the bitmap
+// vector index and the bit position, per §3.4 of the paper: with m = 2^c
+// bitmap vectors, the vector is lsb_k(id) mod m and the bit position is
+// r = ρ(lsb_k(id) div m) computed over the remaining k-c bits.
+func Split(id uint64, k uint, m int) (vector int, r uint) {
+	c := Log2(uint64(m))
+	if c >= k {
+		panic("hashutil: log2(m) must be smaller than the bitmap key length")
+	}
+	low := Lsb(id, k)
+	vector = int(low % uint64(m))
+	r = Rho(low>>c, k-c)
+	return vector, r
+}

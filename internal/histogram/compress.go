@@ -1,0 +1,235 @@
+package histogram
+
+// Advanced bucketizations — the paper's §4.3 closes with "we are
+// currently investigating methods to construct other, more complicated
+// types of histograms (e.g. compressed, v-optimal, maxdiff)". This file
+// implements that future work: given a fine-grained histogram
+// reconstructed from the DHS (cheap — one counting pass regardless of
+// resolution), derive the boundary list of a coarser v-optimal, maxdiff,
+// or equi-depth histogram. The derived Spec (with Boundaries) can then
+// itself be maintained over DHS, since arbitrary histograms only require
+// constant, globally known boundaries.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BucketizeKind selects a boundary-derivation strategy.
+type BucketizeKind int
+
+const (
+	// VOptimal minimizes the total within-bucket variance (SSE) by
+	// dynamic programming — the histogram class with the best worst-case
+	// selectivity estimates (Jagadish et al. 1998).
+	VOptimal BucketizeKind = iota
+	// MaxDiff places boundaries at the largest differences between
+	// adjacent source cells, isolating skew spikes cheaply.
+	MaxDiff
+	// EquiDepth places boundaries at source-mass quantiles, so every
+	// bucket holds about the same count.
+	EquiDepth
+)
+
+// String names the strategy.
+func (k BucketizeKind) String() string {
+	switch k {
+	case VOptimal:
+		return "v-optimal"
+	case MaxDiff:
+		return "maxdiff"
+	case EquiDepth:
+		return "equi-depth"
+	default:
+		return fmt.Sprintf("BucketizeKind(%d)", int(k))
+	}
+}
+
+// Bucketize derives a buckets-bucket histogram of the given kind from a
+// finer source histogram, returning a Spec with explicit Boundaries
+// (suitable for subsequent DHS maintenance) and the per-bucket counts
+// implied by the source.
+func Bucketize(src *Histogram, kind BucketizeKind, buckets int) (*Histogram, error) {
+	cells := len(src.Counts)
+	if buckets < 1 {
+		return nil, fmt.Errorf("histogram: cannot bucketize into %d buckets", buckets)
+	}
+	if cells == 0 {
+		return nil, fmt.Errorf("histogram: empty source histogram")
+	}
+	if buckets > cells {
+		buckets = cells
+	}
+
+	var starts []int // indices of source cells that begin a bucket
+	switch kind {
+	case VOptimal:
+		starts = vOptimalStarts(src.Counts, buckets)
+	case MaxDiff:
+		starts = maxDiffStarts(src.Counts, buckets)
+	case EquiDepth:
+		starts = equiDepthStarts(src.Counts, buckets)
+	default:
+		return nil, fmt.Errorf("histogram: unknown bucketize kind %v", kind)
+	}
+
+	boundaries := make([]int, len(starts))
+	counts := make([]float64, len(starts))
+	for i, s := range starts {
+		lo, _ := src.Spec.Bounds(s)
+		boundaries[i] = lo
+		end := cells
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		for c := s; c < end; c++ {
+			counts[i] += src.Counts[c]
+		}
+	}
+	end := src.Spec.End
+	if src.Spec.Boundaries == nil {
+		end = src.Spec.Max + 1
+	}
+	spec := Spec{
+		Relation:   src.Spec.Relation,
+		Attribute:  src.Spec.Attribute,
+		Boundaries: boundaries,
+		End:        end,
+	}
+	return &Histogram{Spec: spec, Counts: counts}, nil
+}
+
+// SSE returns the sum of squared errors of approximating each source
+// cell by its bucket's average — the v-optimal objective. The bucket
+// assignment follows h's boundaries over the source's cell ranges.
+func SSE(src, bucketed *Histogram) float64 {
+	// Per bucket: Σ (cell − mean)² over the member cells.
+	cellsPerBucket := make(map[int][]float64)
+	for c := range src.Counts {
+		lo, _ := src.Spec.Bounds(c)
+		b := bucketed.Spec.BucketOf(lo)
+		cellsPerBucket[b] = append(cellsPerBucket[b], src.Counts[c])
+	}
+	var sse float64
+	for _, cells := range cellsPerBucket {
+		var sum float64
+		for _, v := range cells {
+			sum += v
+		}
+		mean := sum / float64(len(cells))
+		for _, v := range cells {
+			sse += (v - mean) * (v - mean)
+		}
+	}
+	return sse
+}
+
+// vOptimalStarts computes optimal bucket start indices by dynamic
+// programming over prefix sums: cost(i,j) = SSE of cells[i:j] =
+// Σx² − (Σx)²/n.
+func vOptimalStarts(cells []float64, buckets int) []int {
+	n := len(cells)
+	prefix := make([]float64, n+1)   // Σ x
+	prefixSq := make([]float64, n+1) // Σ x²
+	for i, x := range cells {
+		prefix[i+1] = prefix[i] + x
+		prefixSq[i+1] = prefixSq[i] + x*x
+	}
+	sse := func(i, j int) float64 { // cells[i:j], j > i
+		s := prefix[j] - prefix[i]
+		sq := prefixSq[j] - prefixSq[i]
+		return sq - s*s/float64(j-i)
+	}
+
+	// dp[b][j] = minimal SSE of cells[0:j] using b buckets.
+	const inf = math.MaxFloat64
+	dp := make([][]float64, buckets+1)
+	arg := make([][]int, buckets+1)
+	for b := range dp {
+		dp[b] = make([]float64, n+1)
+		arg[b] = make([]int, n+1)
+		for j := range dp[b] {
+			dp[b][j] = inf
+		}
+	}
+	dp[0][0] = 0
+	for b := 1; b <= buckets; b++ {
+		for j := b; j <= n; j++ {
+			for i := b - 1; i < j; i++ {
+				if dp[b-1][i] == inf {
+					continue
+				}
+				if c := dp[b-1][i] + sse(i, j); c < dp[b][j] {
+					dp[b][j] = c
+					arg[b][j] = i
+				}
+			}
+		}
+	}
+	// Recover boundaries.
+	starts := make([]int, buckets)
+	j := n
+	for b := buckets; b >= 1; b-- {
+		i := arg[b][j]
+		starts[b-1] = i
+		j = i
+	}
+	return starts
+}
+
+// maxDiffStarts places bucket starts after the buckets−1 largest
+// adjacent-cell differences.
+func maxDiffStarts(cells []float64, buckets int) []int {
+	type gap struct {
+		idx  int // boundary before cells[idx]
+		diff float64
+	}
+	gaps := make([]gap, 0, len(cells)-1)
+	for i := 1; i < len(cells); i++ {
+		gaps = append(gaps, gap{idx: i, diff: math.Abs(cells[i] - cells[i-1])})
+	}
+	sort.Slice(gaps, func(a, b int) bool {
+		if gaps[a].diff != gaps[b].diff {
+			return gaps[a].diff > gaps[b].diff
+		}
+		return gaps[a].idx < gaps[b].idx
+	})
+	starts := []int{0}
+	for _, g := range gaps[:min(buckets-1, len(gaps))] {
+		starts = append(starts, g.idx)
+	}
+	sort.Ints(starts)
+	return starts
+}
+
+// equiDepthStarts places bucket starts at mass quantiles.
+func equiDepthStarts(cells []float64, buckets int) []int {
+	var total float64
+	for _, x := range cells {
+		total += x
+	}
+	starts := []int{0}
+	share := total / float64(buckets)
+	var cum float64
+	next := share
+	for i, x := range cells {
+		cum += x
+		if cum >= next && len(starts) < buckets && i+1 < len(cells) {
+			starts = append(starts, i+1)
+			// One heavy cell may span several quantiles; skip them all
+			// rather than emitting duplicate boundaries.
+			for next <= cum {
+				next += share
+			}
+		}
+	}
+	return starts
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,253 @@
+package histogram
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// fineHistogram builds a 100-cell source histogram over [0,1000) with
+// the given per-cell counts.
+func fineHistogram(counts []float64) *Histogram {
+	spec := Spec{Relation: "Z", Attribute: "a", Min: 0, Max: len(counts)*10 - 1, Buckets: len(counts)}
+	return &Histogram{Spec: spec, Counts: append([]float64(nil), counts...)}
+}
+
+// zipfCells builds a skewed cell vector.
+func zipfCells(n int, total float64) []float64 {
+	cells := make([]float64, n)
+	var norm float64
+	for i := range cells {
+		norm += 1 / math.Pow(float64(i+1), 1.2)
+	}
+	for i := range cells {
+		cells[i] = total / math.Pow(float64(i+1), 1.2) / norm
+	}
+	return cells
+}
+
+func TestBucketizePreservesMass(t *testing.T) {
+	src := fineHistogram(zipfCells(100, 100000))
+	for _, kind := range []BucketizeKind{VOptimal, MaxDiff, EquiDepth} {
+		h, err := Bucketize(src, kind, 10)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if math.Abs(h.Total()-src.Total()) > 1e-6 {
+			t.Errorf("%v: total %v != source %v", kind, h.Total(), src.Total())
+		}
+		if h.Spec.Boundaries == nil {
+			t.Errorf("%v: derived spec has no boundary list", kind)
+		}
+		if err := h.Spec.Validate(); err != nil {
+			t.Errorf("%v: derived spec invalid: %v", kind, err)
+		}
+		if got := h.Spec.NumBuckets(); got > 10 {
+			t.Errorf("%v: %d buckets, want ≤ 10", kind, got)
+		}
+	}
+}
+
+func TestVOptimalBeatsEquiWidthOnSkew(t *testing.T) {
+	src := fineHistogram(zipfCells(100, 100000))
+	vopt, err := Bucketize(src, VOptimal, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equi-width with the same bucket count: starts every 10 cells.
+	starts := make([]int, 10)
+	for i := range starts {
+		starts[i] = src.Spec.Min + i*10*src.Spec.Width()
+	}
+	equi := &Histogram{Spec: Spec{Relation: "Z", Boundaries: starts}}
+	if SSE(src, vopt) >= SSE(src, equi) {
+		t.Errorf("v-optimal SSE %v not below equi-width SSE %v", SSE(src, vopt), SSE(src, equi))
+	}
+}
+
+func TestVOptimalMatchesBruteForceSmall(t *testing.T) {
+	cells := []float64{10, 12, 11, 90, 88, 5, 6, 4}
+	const buckets = 3
+	got := vOptimalStarts(cells, buckets)
+
+	// Brute force over all boundary placements.
+	best := math.MaxFloat64
+	var bestStarts []int
+	n := len(cells)
+	for b1 := 1; b1 < n; b1++ {
+		for b2 := b1 + 1; b2 < n; b2++ {
+			starts := []int{0, b1, b2}
+			sse := 0.0
+			bounds := append(starts, n)
+			for k := 0; k < buckets; k++ {
+				var sum float64
+				cnt := 0
+				for i := bounds[k]; i < bounds[k+1]; i++ {
+					sum += cells[i]
+					cnt++
+				}
+				mean := sum / float64(cnt)
+				for i := bounds[k]; i < bounds[k+1]; i++ {
+					sse += (cells[i] - mean) * (cells[i] - mean)
+				}
+			}
+			if sse < best {
+				best = sse
+				bestStarts = starts
+			}
+		}
+	}
+	sseOf := func(starts []int) float64 {
+		sse := 0.0
+		bounds := append(append([]int{}, starts...), n)
+		for k := 0; k < buckets; k++ {
+			var sum float64
+			cnt := 0
+			for i := bounds[k]; i < bounds[k+1]; i++ {
+				sum += cells[i]
+				cnt++
+			}
+			mean := sum / float64(cnt)
+			for i := bounds[k]; i < bounds[k+1]; i++ {
+				sse += (cells[i] - mean) * (cells[i] - mean)
+			}
+		}
+		return sse
+	}
+	if math.Abs(sseOf(got)-best) > 1e-9 {
+		t.Errorf("DP starts %v (SSE %v) vs brute force %v (SSE %v)", got, sseOf(got), bestStarts, best)
+	}
+}
+
+func TestMaxDiffBoundariesAtLargestGaps(t *testing.T) {
+	// One huge spike: maxdiff must isolate it.
+	cells := []float64{1, 1, 1, 1000, 1, 1, 1, 1}
+	starts := maxDiffStarts(cells, 3)
+	has := func(s int) bool {
+		for _, x := range starts {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(3) || !has(4) {
+		t.Errorf("maxdiff starts %v do not isolate the spike at cell 3", starts)
+	}
+}
+
+func TestEquiDepthBalancesMass(t *testing.T) {
+	src := fineHistogram(zipfCells(100, 100000))
+	h, err := Bucketize(src, EquiDepth, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No bucket should hold more than ~3× the ideal share (the first
+	// source cell alone can exceed a share under heavy skew).
+	ideal := src.Total() / 10
+	for b, c := range h.Counts {
+		if c > 3.2*ideal {
+			t.Errorf("equi-depth bucket %d holds %v (ideal %v)", b, c, ideal)
+		}
+	}
+}
+
+func TestBucketizeEdgeCases(t *testing.T) {
+	src := fineHistogram([]float64{5, 6, 7})
+	// More buckets than cells clamps.
+	h, err := Bucketize(src, VOptimal, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Spec.NumBuckets() > 3 {
+		t.Errorf("got %d buckets from 3 cells", h.Spec.NumBuckets())
+	}
+	// Single bucket.
+	h1, err := Bucketize(src, EquiDepth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Spec.NumBuckets() != 1 || h1.Counts[0] != 18 {
+		t.Errorf("single bucket: %+v", h1)
+	}
+	// Errors.
+	if _, err := Bucketize(src, VOptimal, 0); err == nil {
+		t.Error("0 buckets should fail")
+	}
+	if _, err := Bucketize(&Histogram{Spec: src.Spec}, VOptimal, 2); err == nil {
+		t.Error("empty source should fail")
+	}
+	if _, err := Bucketize(src, BucketizeKind(99), 2); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestBucketizeKindString(t *testing.T) {
+	if VOptimal.String() != "v-optimal" || MaxDiff.String() != "maxdiff" || EquiDepth.String() != "equi-depth" {
+		t.Error("kind names wrong")
+	}
+	if BucketizeKind(42).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}
+
+func TestSelectivityImprovesWithVOptimal(t *testing.T) {
+	// On skewed data, a 10-bucket v-optimal histogram should estimate
+	// range selectivities at least as well (in aggregate) as a 10-bucket
+	// equi-width one, both derived from the same 100-cell truth.
+	cells := zipfCells(100, 100000)
+	src := fineHistogram(cells)
+	vopt, err := Bucketize(src, VOptimal, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equiStarts := make([]int, 10)
+	for i := range equiStarts {
+		equiStarts[i] = i * 100
+	}
+	equi := &Histogram{
+		Spec:   Spec{Relation: "Z", Boundaries: equiStarts, End: 1000},
+		Counts: coarsen(cells, equiStarts),
+	}
+
+	exactSel := func(lo, hi int) float64 {
+		var s float64
+		for c := range cells {
+			clo, chi := src.Spec.Bounds(c)
+			l, r := maxInt(lo, clo), minInt(hi+1, chi)
+			if r > l {
+				s += cells[c] * float64(r-l) / float64(chi-clo)
+			}
+		}
+		return s / src.Total()
+	}
+
+	rng := rand.New(rand.NewPCG(4, 4))
+	var errV, errE float64
+	for trial := 0; trial < 300; trial++ {
+		lo := rng.IntN(900)
+		hi := lo + 1 + rng.IntN(99)
+		want := exactSel(lo, hi)
+		errV += math.Abs(vopt.SelectivityRange(lo, hi) - want)
+		errE += math.Abs(equi.SelectivityRange(lo, hi) - want)
+	}
+	if errV > errE*1.15 {
+		t.Errorf("v-optimal aggregate selectivity error %v clearly worse than equi-width %v", errV, errE)
+	}
+}
+
+// coarsen sums cells into buckets given start values (cell width 10).
+func coarsen(cells []float64, startValues []int) []float64 {
+	out := make([]float64, len(startValues))
+	for c, v := range cells {
+		val := c * 10
+		b := 0
+		for i, s := range startValues {
+			if val >= s {
+				b = i
+			}
+		}
+		out[b] += v
+	}
+	return out
+}

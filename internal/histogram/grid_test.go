@@ -1,0 +1,190 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"dhsketch/internal/chord"
+	"dhsketch/internal/core"
+	"dhsketch/internal/sim"
+	"dhsketch/internal/sketch"
+	"dhsketch/internal/workload"
+)
+
+func gridSpec() GridSpec {
+	return GridSpec{
+		Relation: "G",
+		X:        Spec{Attribute: "x", Min: 1, Max: 100, Buckets: 4},
+		Y:        Spec{Attribute: "y", Min: 1, Max: 100, Buckets: 5},
+	}
+}
+
+func TestGridSpecBasics(t *testing.T) {
+	g := gridSpec()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 20 {
+		t.Errorf("Cells = %d", g.Cells())
+	}
+	if len(g.Metrics()) != 20 {
+		t.Errorf("Metrics = %d", len(g.Metrics()))
+	}
+	seen := map[uint64]bool{}
+	for _, m := range g.Metrics() {
+		if seen[m] {
+			t.Fatal("duplicate cell metric")
+		}
+		seen[m] = true
+	}
+	// CellOf row-major layout.
+	if g.CellOf(1, 1) != 0 {
+		t.Error("cell (0,0) not index 0")
+	}
+	if g.CellOf(100, 100) != 19 {
+		t.Error("cell (max,max) not last index")
+	}
+}
+
+func TestGridSpecValidation(t *testing.T) {
+	bad := []GridSpec{
+		{},
+		{Relation: "G", X: Spec{Min: 1, Max: 0, Buckets: 2}, Y: Spec{Min: 1, Max: 10, Buckets: 2}},
+		{Relation: "G", X: Spec{Boundaries: []int{1, 2}}, Y: Spec{Min: 1, Max: 10, Buckets: 2}},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad grid %d accepted", i)
+		}
+	}
+}
+
+// buildGrid populates a grid with correlated attributes: y ≈ x, so the
+// mass sits on the diagonal — the case where attribute independence
+// fails badly.
+func buildGrid(t *testing.T) (*Grid, [][]int, int) {
+	t.Helper()
+	env := sim.NewEnv(91)
+	ring := chord.New(env, 64)
+	d, err := core.New(core.Config{Overlay: ring, Env: env, M: 16, Kind: sketch.KindSuperLogLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := gridSpec()
+	b, err := NewGridBuilder(d, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := env.Derive("grid")
+	nodes := ring.Nodes()
+	exact := make([][]int, spec.X.Buckets)
+	for i := range exact {
+		exact[i] = make([]int, spec.Y.Buckets)
+	}
+	const n = 120000
+	for i := 0; i < n; i++ {
+		x := 1 + rng.IntN(100)
+		y := x // perfectly correlated
+		if rng.IntN(4) == 0 {
+			y = 1 + rng.IntN(100) // 25% background noise
+		}
+		src := nodes[rng.IntN(len(nodes))]
+		if _, err := b.Record(src, workload.TupleID("G", i), x, y); err != nil {
+			t.Fatal(err)
+		}
+		exact[spec.X.BucketOf(x)][spec.Y.BucketOf(y)]++
+	}
+	g, err := ReconstructGrid(d, spec, ring.RandomNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, exact, n
+}
+
+func TestGridReconstruction(t *testing.T) {
+	g, exact, n := buildGrid(t)
+	if e := math.Abs(g.Total()-float64(n)) / float64(n); e > 0.3 {
+		t.Errorf("grid total off by %.2f", e)
+	}
+	// Heavy diagonal cells come back accurately.
+	for bx := 0; bx < 4; bx++ {
+		for by := 0; by < 5; by++ {
+			want := float64(exact[bx][by])
+			if want < 8000 {
+				continue
+			}
+			if e := math.Abs(g.At(bx, by)-want) / want; e > 0.5 {
+				t.Errorf("cell (%d,%d): est %.0f vs %d", bx, by, g.At(bx, by), exact[bx][by])
+			}
+		}
+	}
+}
+
+func TestGridCapturesCorrelation(t *testing.T) {
+	g, exact, n := buildGrid(t)
+	// Conjunctive predicate on the diagonal: x ≤ 25 AND y ≤ 20.
+	gridEst := g.SelectivityRect(1, 25, 1, 20)
+	// Exact from raw cells.
+	var exactSel float64
+	for bx := 0; bx < 4; bx++ {
+		for by := 0; by < 5; by++ {
+			blox := 1 + bx*25
+			bloy := 1 + by*20
+			fx := overlapFrac(1, 25, blox, blox+25)
+			fy := overlapFrac(1, 20, bloy, bloy+20)
+			exactSel += float64(exact[bx][by]) * fx * fy
+		}
+	}
+	exactSel /= float64(n)
+	// Independence assumption: marginal products.
+	indep := g.MarginalX().SelectivityRange(1, 25) * g.MarginalY().SelectivityRange(1, 20)
+
+	if math.Abs(gridEst-exactSel) > 0.05 {
+		t.Errorf("grid selectivity %.3f vs exact %.3f", gridEst, exactSel)
+	}
+	// The correlated diagonal makes the true conjunctive selectivity far
+	// exceed the independence product; the grid must capture that.
+	if exactSel < 1.5*indep {
+		t.Fatalf("test data not correlated enough: exact %.3f indep %.3f", exactSel, indep)
+	}
+	if gridEst < 1.3*indep {
+		t.Errorf("grid (%.3f) did not beat independence assumption (%.3f)", gridEst, indep)
+	}
+}
+
+func TestGridMarginalsMatchTotal(t *testing.T) {
+	g, _, _ := buildGrid(t)
+	mx, my := g.MarginalX(), g.MarginalY()
+	if math.Abs(mx.Total()-g.Total()) > 1e-6 || math.Abs(my.Total()-g.Total()) > 1e-6 {
+		t.Error("marginal totals disagree with grid total")
+	}
+	if len(mx.Counts) != 4 || len(my.Counts) != 5 {
+		t.Error("marginal bucket counts wrong")
+	}
+}
+
+func TestGridCostOnePass(t *testing.T) {
+	g, _, _ := buildGrid(t)
+	// One counting pass over 20 cell metrics: hops bounded by the
+	// single-metric scan ceiling k·lim·(lookup route + walks).
+	if g.Cost.Lookups > 24 {
+		t.Errorf("grid reconstruction used %d lookups, expected ≤ k", g.Cost.Lookups)
+	}
+	if g.Cost.NodesVisited > 24*5 {
+		t.Errorf("grid visited %d nodes, expected ≤ k·lim", g.Cost.NodesVisited)
+	}
+}
+
+func TestSelectivityRectEdgeCases(t *testing.T) {
+	g, _, _ := buildGrid(t)
+	if g.SelectivityRect(50, 10, 1, 100) != 0 {
+		t.Error("inverted x range should be 0")
+	}
+	if g.SelectivityRect(1, 100, 90, 10) != 0 {
+		t.Error("inverted y range should be 0")
+	}
+	full := g.SelectivityRect(1, 100, 1, 100)
+	if math.Abs(full-1) > 1e-9 {
+		t.Errorf("full-domain selectivity = %v", full)
+	}
+}

@@ -1,0 +1,136 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"dhsketch/internal/chord"
+	"dhsketch/internal/core"
+	"dhsketch/internal/sim"
+	"dhsketch/internal/sketch"
+	"dhsketch/internal/workload"
+)
+
+// TestDHSToVOptimalPipeline exercises the full §4.3 + future-work
+// pipeline: record a skewed relation into a fine equi-width DHS
+// histogram, reconstruct it at one node, derive a v-optimal bucketization
+// from the *estimated* counts, and verify the derived histogram still
+// approximates the true distribution.
+func TestDHSToVOptimalPipeline(t *testing.T) {
+	env := sim.NewEnv(83)
+	ring := chord.New(env, 64)
+	d, err := core.New(core.Config{Overlay: ring, Env: env, M: 16, Kind: sketch.KindSuperLogLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := workload.Relation{Name: "V", Tuples: 150000, AttrMin: 1, AttrMax: 1000, Theta: 0.9}
+	fineSpec := Spec{Relation: "V", Attribute: "a", Min: 1, Max: 1000, Buckets: 20}
+	b, err := NewBuilder(d, fineSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(rel, 83)
+	nodes := ring.Nodes()
+	rng := env.Derive("place")
+	for {
+		tup, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if _, err := b.Record(nodes[rng.IntN(len(nodes))], tup.ID, tup.Attr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fine, err := Reconstruct(d, fineSpec, ring.RandomNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []BucketizeKind{VOptimal, MaxDiff, EquiDepth} {
+		coarse, err := Bucketize(fine, kind, 6)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		// Mass conserved through the derivation.
+		if math.Abs(coarse.Total()-fine.Total()) > 1e-6 {
+			t.Errorf("%v: totals diverge", kind)
+		}
+		// The derived spec is DHS-maintainable: valid, constant
+		// boundaries, closed domain.
+		if err := coarse.Spec.Validate(); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+		if coarse.Spec.End != 1001 {
+			t.Errorf("%v: End = %d", kind, coarse.Spec.End)
+		}
+		// Range selectivities from the coarse histogram stay near the
+		// exact ones (loose: DHS noise + coarsening).
+		exact := workload.ExactHistogram(rel, 83, 20)
+		exactSel := func(lo, hi int) float64 {
+			var s, total float64
+			for c, cnt := range exact {
+				total += float64(cnt)
+				clo := 1 + c*50
+				chi := clo + 50
+				l, r := maxInt(lo, clo), minInt(hi+1, chi)
+				if r > l {
+					s += float64(cnt) * float64(r-l) / 50
+				}
+			}
+			return s / total
+		}
+		for _, q := range [][2]int{{1, 100}, {1, 500}, {400, 900}} {
+			got := coarse.SelectivityRange(q[0], q[1])
+			want := exactSel(q[0], q[1])
+			if math.Abs(got-want) > 0.25 {
+				t.Errorf("%v: selectivity[%d,%d] = %.3f, exact %.3f", kind, q[0], q[1], got, want)
+			}
+		}
+	}
+}
+
+// TestVOptimalFromDHSBeatsEquiWidthSameBudget compares, at equal bucket
+// budget, the v-optimal histogram derived from DHS estimates against the
+// plain equi-width histogram of that budget — the motivation for the
+// §4.3 future work.
+func TestVOptimalFromDHSBeatsEquiWidthSameBudget(t *testing.T) {
+	env := sim.NewEnv(89)
+	ring := chord.New(env, 64)
+	d, err := core.New(core.Config{Overlay: ring, Env: env, M: 16, Kind: sketch.KindSuperLogLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bimodal distribution: hard for equi-width, easy for v-optimal.
+	fineSpec := Spec{Relation: "B", Attribute: "a", Min: 1, Max: 1000, Buckets: 20}
+	b, _ := NewBuilder(d, fineSpec)
+	nodes := ring.Nodes()
+	rng := env.Derive("bimodal")
+	exact := make([]float64, 20)
+	for i := 0; i < 120000; i++ {
+		var v int
+		if rng.Float64() < 0.5 {
+			v = 1 + rng.IntN(50) // spike at [1,50]
+		} else {
+			v = 1 + rng.IntN(1000) // uniform background
+		}
+		if _, err := b.Record(nodes[rng.IntN(len(nodes))], workload.TupleID("B", i), v); err != nil {
+			t.Fatal(err)
+		}
+		exact[fineSpec.BucketOf(v)]++
+	}
+	fine, err := Reconstruct(d, fineSpec, ring.RandomNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := &Histogram{Spec: fineSpec, Counts: exact}
+
+	vopt, err := Bucketize(fine, VOptimal, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equiStarts := []int{1, 251, 501, 751}
+	equi := &Histogram{Spec: Spec{Relation: "B", Boundaries: equiStarts, End: 1001}}
+	if SSE(truth, vopt) >= SSE(truth, equi) {
+		t.Errorf("v-optimal-from-DHS SSE %v not below equi-width %v", SSE(truth, vopt), SSE(truth, equi))
+	}
+}

@@ -1,0 +1,236 @@
+package kademlia
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"dhsketch/internal/dht"
+	"dhsketch/internal/sim"
+)
+
+func newTable(t testing.TB, n int) *Table {
+	t.Helper()
+	return New(sim.NewEnv(1), n)
+}
+
+// bruteOwner finds the XOR-closest node by exhaustive search.
+func bruteOwner(tb *Table, key uint64) dht.Node {
+	var best dht.Node
+	var bestD uint64 = math.MaxUint64
+	for _, n := range tb.Nodes() {
+		if d := n.ID() ^ key; d < bestD {
+			bestD = d
+			best = n
+		}
+	}
+	return best
+}
+
+func TestOwnerMatchesBruteForce(t *testing.T) {
+	tb := newTable(t, 200)
+	rng := tb.Env().Derive("keys")
+	for i := 0; i < 5000; i++ {
+		key := rng.Uint64()
+		got, err := tb.Owner(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteOwner(tb, key)
+		if got.ID() != want.ID() {
+			t.Fatalf("Owner(%x) = %x, want %x", key, got.ID(), want.ID())
+		}
+	}
+}
+
+func TestOwnerOfNodeIDIsNode(t *testing.T) {
+	tb := newTable(t, 100)
+	for _, n := range tb.Nodes() {
+		own, _ := tb.Owner(n.ID())
+		if own.ID() != n.ID() {
+			t.Fatalf("node %x does not own its own ID", n.ID())
+		}
+	}
+}
+
+func TestLookupFindsOwner(t *testing.T) {
+	tb := newTable(t, 256)
+	rng := tb.Env().Derive("lookup")
+	for i := 0; i < 3000; i++ {
+		key := rng.Uint64()
+		want, _ := tb.Owner(key)
+		got, hops, err := tb.Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID() != want.ID() {
+			t.Fatalf("Lookup(%x) = %x, want %x", key, got.ID(), want.ID())
+		}
+		if hops < 0 || hops > 64 {
+			t.Fatalf("hops = %d", hops)
+		}
+	}
+}
+
+func TestLookupFromEveryNode(t *testing.T) {
+	tb := newTable(t, 128)
+	key := uint64(0x5DEECE66D1234567)
+	want, _ := tb.Owner(key)
+	for _, src := range tb.Nodes() {
+		got, _, err := tb.LookupFrom(src, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID() != want.ID() {
+			t.Fatal("lookup from some node found a different owner")
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	// XOR routing fixes at least one prefix bit per hop; the average
+	// should be around log2 N or below.
+	for _, n := range []int{64, 1024} {
+		tb := newTable(t, n)
+		rng := tb.Env().Derive("hops")
+		total := 0
+		const trials = 2000
+		for i := 0; i < trials; i++ {
+			_, hops, err := tb.Lookup(rng.Uint64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += hops
+		}
+		avg := float64(total) / trials
+		if logN := math.Log2(float64(n)); avg > logN || avg < 0.2*logN {
+			t.Errorf("N=%d: avg hops %.2f outside [%.2f, %.2f]", n, avg, 0.2*logN, logN)
+		}
+	}
+}
+
+func TestEveryHopImprovesPrefixOrEnds(t *testing.T) {
+	// Re-derive routing progress: simulate manually and assert the
+	// common prefix length with the key never decreases.
+	tb := newTable(t, 512)
+	rng := tb.Env().Derive("progress")
+	for i := 0; i < 200; i++ {
+		key := rng.Uint64()
+		src := tb.RandomNode()
+		owner, _ := tb.Owner(key)
+		cur := src
+		prev := -1
+		for cur.ID() != owner.ID() {
+			d := bits.LeadingZeros64(cur.ID() ^ key)
+			if d < prev {
+				t.Fatalf("prefix regressed: %d after %d", d, prev)
+			}
+			prev = d
+			next, _, err := tb.LookupFrom(cur, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur = next // LookupFrom goes all the way; just sanity-check the end
+		}
+	}
+}
+
+func TestSuccessorPredecessorInverse(t *testing.T) {
+	tb := newTable(t, 64)
+	for _, n := range tb.Nodes() {
+		s, err := tb.Successor(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := tb.Predecessor(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ID() != n.ID() {
+			t.Fatalf("Predecessor(Successor(%x)) = %x", n.ID(), p.ID())
+		}
+	}
+}
+
+func TestFailRerouting(t *testing.T) {
+	tb := newTable(t, 128)
+	victims := tb.FailRandom(40)
+	if tb.Size() != 88 {
+		t.Fatalf("Size = %d", tb.Size())
+	}
+	rng := tb.Env().Derive("fail")
+	for i := 0; i < 1000; i++ {
+		key := rng.Uint64()
+		got, _, err := tb.Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteOwner(tb, key)
+		if got.ID() != want.ID() {
+			t.Fatal("post-failure lookup found wrong owner")
+		}
+	}
+	if _, _, err := tb.LookupFrom(victims[0], 1); err != dht.ErrNodeDown {
+		t.Errorf("lookup from dead node: %v", err)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	tb := newTable(t, 16)
+	n := tb.Join("joiner:1")
+	if tb.Size() != 17 {
+		t.Fatal("join did not grow the table")
+	}
+	own, _ := tb.Owner(n.ID())
+	if own.ID() != n.ID() {
+		t.Error("joiner does not own its ID")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	tb := newTable(t, 1)
+	n := tb.Nodes()[0]
+	got, hops, err := tb.Lookup(0xABCDEF)
+	if err != nil || got.ID() != n.ID() || hops != 0 {
+		t.Errorf("single-node lookup: %v %d %v", got, hops, err)
+	}
+	s, _ := tb.Successor(n)
+	if s.ID() != n.ID() {
+		t.Error("single node should be its own successor")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	trace := func() []int {
+		tb := New(sim.NewEnv(5), 100)
+		rng := tb.Env().Derive("trace")
+		out := make([]int, 50)
+		for i := range out {
+			_, hops, err := tb.Lookup(rng.Uint64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = hops
+		}
+		return out
+	}
+	a, b := trace(), trace()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic routing")
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tb := New(sim.NewEnv(1), 1024)
+	rng := tb.Env().Derive("bench")
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(keys[i&4095])
+	}
+}

@@ -1,0 +1,169 @@
+// Package md4 implements the MD4 message-digest algorithm (RFC 1320).
+//
+// The paper's evaluation derives node and item identifiers from MD4 ("MD4
+// was selected due to its speed on 32-bit CPUs"). MD4 is cryptographically
+// broken and must not be used for security purposes; here it serves only as
+// the pseudo-uniform hash function that hash sketches and the DHT require.
+package md4
+
+import (
+	"encoding/binary"
+	"hash"
+)
+
+// Size is the size of an MD4 checksum in bytes.
+const Size = 16
+
+// BlockSize is the block size of MD4 in bytes.
+const BlockSize = 64
+
+const (
+	init0 = 0x67452301
+	init1 = 0xefcdab89
+	init2 = 0x98badcfe
+	init3 = 0x10325476
+)
+
+// digest represents the partial evaluation of a checksum.
+type digest struct {
+	s   [4]uint32
+	x   [BlockSize]byte
+	nx  int
+	len uint64
+}
+
+// New returns a new hash.Hash computing the MD4 checksum.
+func New() hash.Hash {
+	d := new(digest)
+	d.Reset()
+	return d
+}
+
+func (d *digest) Reset() {
+	d.s[0] = init0
+	d.s[1] = init1
+	d.s[2] = init2
+	d.s[3] = init3
+	d.nx = 0
+	d.len = 0
+}
+
+func (d *digest) Size() int { return Size }
+
+func (d *digest) BlockSize() int { return BlockSize }
+
+func (d *digest) Write(p []byte) (n int, err error) {
+	n = len(p)
+	d.len += uint64(n)
+	if d.nx > 0 {
+		c := copy(d.x[d.nx:], p)
+		d.nx += c
+		if d.nx == BlockSize {
+			block(d, d.x[:])
+			d.nx = 0
+		}
+		p = p[c:]
+	}
+	for len(p) >= BlockSize {
+		block(d, p[:BlockSize])
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		d.nx = copy(d.x[:], p)
+	}
+	return n, nil
+}
+
+func (d *digest) Sum(in []byte) []byte {
+	// Make a copy so the caller can keep writing and summing.
+	d0 := *d
+	h := d0.checkSum()
+	return append(in, h[:]...)
+}
+
+func (d *digest) checkSum() [Size]byte {
+	// Padding: a single 1 bit, zeros, then the length in bits as a
+	// little-endian 64-bit integer, filling out the final block.
+	lenBits := d.len << 3
+	var tmp [1 + 63 + 8]byte
+	tmp[0] = 0x80
+	pad := (55 - d.len) % 64 // number of zero bytes after 0x80
+	binary.LittleEndian.PutUint64(tmp[1+pad:], lenBits)
+	d.Write(tmp[:1+pad+8])
+	if d.nx != 0 {
+		panic("md4: internal error, padding did not align")
+	}
+
+	var out [Size]byte
+	for i, v := range d.s {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+// Sum returns the MD4 checksum of the data.
+func Sum(data []byte) [Size]byte {
+	var d digest
+	d.Reset()
+	d.Write(data)
+	return d.checkSum()
+}
+
+// Sum64 returns the first 8 bytes of the MD4 checksum of data interpreted
+// as a little-endian 64-bit integer. The DHT and DHS layers use it to
+// produce L = 64-bit identifiers, matching the paper's evaluation setup.
+func Sum64(data []byte) uint64 {
+	h := Sum(data)
+	return binary.LittleEndian.Uint64(h[:8])
+}
+
+var shift1 = [4]uint{3, 7, 11, 19}
+var shift2 = [4]uint{3, 5, 9, 13}
+var shift3 = [4]uint{3, 9, 11, 15}
+
+var xIndex2 = [16]uint{0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15}
+var xIndex3 = [16]uint{0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15}
+
+func block(dig *digest, p []byte) {
+	var X [16]uint32
+	for i := range X {
+		X[i] = binary.LittleEndian.Uint32(p[i*4:])
+	}
+
+	a, b, c, d := dig.s[0], dig.s[1], dig.s[2], dig.s[3]
+
+	// Round 1: F(x,y,z) = (x AND y) OR (NOT x AND z)
+	for i := uint(0); i < 16; i++ {
+		x := i
+		s := shift1[i%4]
+		f := (b & c) | (^b & d)
+		a += f + X[x]
+		a = a<<s | a>>(32-s)
+		a, b, c, d = d, a, b, c
+	}
+
+	// Round 2: G(x,y,z) = (x AND y) OR (x AND z) OR (y AND z)
+	for i := uint(0); i < 16; i++ {
+		x := xIndex2[i]
+		s := shift2[i%4]
+		g := (b & c) | (b & d) | (c & d)
+		a += g + X[x] + 0x5a827999
+		a = a<<s | a>>(32-s)
+		a, b, c, d = d, a, b, c
+	}
+
+	// Round 3: H(x,y,z) = x XOR y XOR z
+	for i := uint(0); i < 16; i++ {
+		x := xIndex3[i]
+		s := shift3[i%4]
+		h := b ^ c ^ d
+		a += h + X[x] + 0x6ed9eba1
+		a = a<<s | a>>(32-s)
+		a, b, c, d = d, a, b, c
+	}
+
+	dig.s[0] += a
+	dig.s[1] += b
+	dig.s[2] += c
+	dig.s[3] += d
+}

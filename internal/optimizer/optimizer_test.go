@@ -1,0 +1,250 @@
+package optimizer
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dhsketch/internal/histogram"
+)
+
+// uniformTable builds stats for a relation with `rows` tuples spread
+// uniformly over the attribute domain [1,100] in 10 buckets.
+func uniformTable(name string, rows float64, tupleBytes float64) TableStats {
+	spec := histogram.Spec{Relation: name, Attribute: "a", Min: 1, Max: 100, Buckets: 10}
+	counts := make([]float64, 10)
+	for i := range counts {
+		counts[i] = rows / 10
+	}
+	return TableStats{Name: name, Hist: &histogram.Histogram{Spec: spec, Counts: counts}, TupleBytes: tupleBytes}
+}
+
+// skewedTable concentrates all rows in bucket 0.
+func skewedTable(name string, rows float64, tupleBytes float64) TableStats {
+	spec := histogram.Spec{Relation: name, Attribute: "a", Min: 1, Max: 100, Buckets: 10}
+	counts := make([]float64, 10)
+	counts[0] = rows
+	return TableStats{Name: name, Hist: &histogram.Histogram{Spec: spec, Counts: counts}, TupleBytes: tupleBytes}
+}
+
+func TestTableStatsBasics(t *testing.T) {
+	tb := uniformTable("R", 1000, 100)
+	if tb.Rows() != 1000 {
+		t.Errorf("Rows = %v", tb.Rows())
+	}
+	if tb.Bytes() != 100000 {
+		t.Errorf("Bytes = %v", tb.Bytes())
+	}
+}
+
+func TestApplyRange(t *testing.T) {
+	tb := uniformTable("R", 1000, 100)
+	// [1,10] is exactly bucket 0: 10% of rows survive.
+	f := tb.ApplyRange(1, 10)
+	if math.Abs(f.Rows()-100) > 1e-9 {
+		t.Errorf("filtered rows = %v, want 100", f.Rows())
+	}
+	// Half of bucket 0.
+	f2 := tb.ApplyRange(1, 5)
+	if math.Abs(f2.Rows()-50) > 1e-9 {
+		t.Errorf("half-bucket filter = %v, want 50", f2.Rows())
+	}
+	// Full domain: nothing removed.
+	f3 := tb.ApplyRange(1, 100)
+	if math.Abs(f3.Rows()-1000) > 1e-9 {
+		t.Errorf("full-range filter = %v", f3.Rows())
+	}
+}
+
+func TestJoinCardinalityUniform(t *testing.T) {
+	// Uniform R (1000 rows) ⋈ uniform S (2000 rows) over 100 distinct
+	// values: expected |join| = 1000·2000/100 = 20000.
+	r := uniformTable("R", 1000, 10)
+	s := uniformTable("S", 2000, 10)
+	j := joinStats(r, s)
+	if math.Abs(j.Rows()-20000) > 1e-6 {
+		t.Errorf("join rows = %v, want 20000", j.Rows())
+	}
+	if j.TupleBytes != 20 {
+		t.Errorf("join tuple bytes = %v", j.TupleBytes)
+	}
+}
+
+func TestJoinCardinalityAgainstExactData(t *testing.T) {
+	// Generate actual rows, compute the real join size, and check the
+	// histogram estimate is close when the per-bucket uniformity
+	// assumption holds (uniform data).
+	rng := rand.New(rand.NewPCG(3, 4))
+	const domain = 100
+	rCounts, sCounts := make([]int, domain+1), make([]int, domain+1)
+	specCounts := func(vals []int, buckets int) []float64 {
+		out := make([]float64, buckets)
+		for v := 1; v <= domain; v++ {
+			out[(v-1)/(domain/buckets)] += float64(vals[v])
+		}
+		return out
+	}
+	for i := 0; i < 5000; i++ {
+		rCounts[1+rng.IntN(domain)]++
+	}
+	for i := 0; i < 8000; i++ {
+		sCounts[1+rng.IntN(domain)]++
+	}
+	exact := 0
+	for v := 1; v <= domain; v++ {
+		exact += rCounts[v] * sCounts[v]
+	}
+	spec := histogram.Spec{Relation: "R", Attribute: "a", Min: 1, Max: domain, Buckets: 10}
+	r := TableStats{Name: "R", Hist: &histogram.Histogram{Spec: spec, Counts: specCounts(rCounts, 10)}, TupleBytes: 1}
+	s := TableStats{Name: "S", Hist: &histogram.Histogram{Spec: spec, Counts: specCounts(sCounts, 10)}, TupleBytes: 1}
+	est := joinStats(r, s).Rows()
+	if math.Abs(est-float64(exact))/float64(exact) > 0.05 {
+		t.Errorf("join estimate %v vs exact %d", est, exact)
+	}
+}
+
+func TestJoinOrderIndependenceOfResultSize(t *testing.T) {
+	// The estimated output of joining a set of tables is independent of
+	// the order — only the cost differs.
+	a := uniformTable("A", 1000, 10)
+	b := skewedTable("B", 500, 20)
+	c := uniformTable("C", 2000, 5)
+	s1 := joinStats(joinStats(a, b), c)
+	s2 := joinStats(a, joinStats(b, c))
+	s3 := joinStats(joinStats(c, a), b)
+	if math.Abs(s1.Rows()-s2.Rows()) > 1e-6 || math.Abs(s1.Rows()-s3.Rows()) > 1e-6 {
+		t.Errorf("order-dependent sizes: %v %v %v", s1.Rows(), s2.Rows(), s3.Rows())
+	}
+}
+
+func TestOptimizeBeatsOrBeatsAllLeftDeep(t *testing.T) {
+	// The DP optimum must cost no more than every left-deep permutation.
+	tables := []TableStats{
+		uniformTable("A", 10000, 100),
+		skewedTable("B", 500, 50),
+		uniformTable("C", 40000, 100),
+		skewedTable("D", 2000, 10),
+	}
+	opt := Optimize(tables)
+	permute(len(tables), func(order []int) {
+		p := LeftDeepPlan(tables, order)
+		if opt.Bytes > p.Bytes+1e-6 {
+			t.Fatalf("optimum %v costs more than left-deep %v (%v)", opt.Bytes, p.Bytes, order)
+		}
+	})
+	if opt.Rows() <= 0 {
+		t.Error("optimum has no output estimate")
+	}
+}
+
+func TestOptimizeMatchesBruteForceSmall(t *testing.T) {
+	// For 3 tables the search space is tiny; the DP must equal the best
+	// of all bushy trees, which for 3 relations equals the best
+	// left-deep tree.
+	tables := []TableStats{
+		uniformTable("A", 1000, 10),
+		uniformTable("B", 100000, 10),
+		skewedTable("C", 50, 10),
+	}
+	opt := Optimize(tables)
+	best := BestLeftDeep(tables)
+	if math.Abs(opt.Bytes-best.Bytes) > 1e-6 {
+		t.Errorf("DP %v != brute force %v", opt.Bytes, best.Bytes)
+	}
+}
+
+func TestSelectivitySteersPlans(t *testing.T) {
+	// A selective filter should make the filtered table the preferred
+	// early join input.
+	big := uniformTable("BIG", 100000, 100)
+	big2 := uniformTable("BIG2", 80000, 100)
+	filtered := uniformTable("F", 90000, 100).ApplyRange(1, 5) // 4500 rows
+	opt := Optimize([]TableStats{big, big2, filtered})
+	// The optimal plan joins the two big tables last; its cost must be
+	// clearly below the plan that joins BIG⋈BIG2 first.
+	bad := LeftDeepPlan([]TableStats{big, big2, filtered}, []int{0, 1, 2})
+	if opt.Bytes >= bad.Bytes {
+		t.Errorf("optimizer did not exploit selectivity: %v vs %v", opt.Bytes, bad.Bytes)
+	}
+}
+
+func TestWorstPlanIsWorst(t *testing.T) {
+	tables := []TableStats{
+		uniformTable("A", 10000, 100),
+		skewedTable("B", 500, 50),
+		uniformTable("C", 40000, 100),
+	}
+	worst := WorstPlan(tables)
+	permute(len(tables), func(order []int) {
+		p := LeftDeepPlan(tables, order)
+		if p.Bytes > worst.Bytes+1e-6 {
+			t.Fatalf("found a worse plan than WorstPlan")
+		}
+	})
+	best := BestLeftDeep(tables)
+	if best.Bytes >= worst.Bytes {
+		t.Error("best and worst left-deep plans coincide; test data too symmetric")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	tables := []TableStats{uniformTable("A", 10, 1), uniformTable("B", 10, 1)}
+	p := Optimize(tables)
+	if p.String() == "" || p.String() == "(empty)" {
+		t.Errorf("plan string = %q", p.String())
+	}
+	if (Plan{}).String() != "(empty)" {
+		t.Error("empty plan string")
+	}
+}
+
+func TestEmptyAndSingleTable(t *testing.T) {
+	if p := Optimize(nil); p.Root != nil || p.Bytes != 0 {
+		t.Error("empty optimize should return empty plan")
+	}
+	one := Optimize([]TableStats{uniformTable("A", 10, 1)})
+	if one.Bytes != 0 {
+		t.Errorf("single-table plan ships %v bytes, want 0", one.Bytes)
+	}
+	if p := LeftDeepPlan(nil, nil); p.Root != nil {
+		t.Error("empty left-deep plan should be empty")
+	}
+}
+
+func TestLeftDeepCostAccumulatesIntermediates(t *testing.T) {
+	// Hand-computed: A(1000×10B) ⋈ B(1000×10B) over 100 values
+	// → 10000 rows × 20 B; then ⋈ C(1000×10B).
+	a := uniformTable("A", 1000, 10)
+	b := uniformTable("B", 1000, 10)
+	c := uniformTable("C", 1000, 10)
+	p := LeftDeepPlan([]TableStats{a, b, c}, []int{0, 1, 2})
+	// cost = (10k + 10k) for A⋈B, + (10000·20 + 10k) for I⋈C.
+	want := 20000.0 + 200000 + 10000
+	if math.Abs(p.Bytes-want) > 1e-6 {
+		t.Errorf("cost = %v, want %v", p.Bytes, want)
+	}
+}
+
+func TestOptimizeTooManyTablesPanics(t *testing.T) {
+	tables := make([]TableStats, 21)
+	for i := range tables {
+		tables[i] = uniformTable("X", 10, 1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 21 tables")
+		}
+	}()
+	Optimize(tables)
+}
+
+func BenchmarkOptimize8Tables(b *testing.B) {
+	tables := make([]TableStats, 8)
+	for i := range tables {
+		tables[i] = uniformTable(string(rune('A'+i)), float64(1000*(i+1)), 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Optimize(tables)
+	}
+}

@@ -1,0 +1,95 @@
+package optimizer
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dhsketch/internal/histogram"
+)
+
+// randomTables builds a random catalog: up to five relations with random
+// sizes, random per-bucket skew, and random tuple widths.
+func randomTables(rng *rand.Rand) []TableStats {
+	n := 2 + rng.IntN(4)
+	spec := histogram.Spec{Relation: "P", Attribute: "a", Min: 1, Max: 1000, Buckets: 10}
+	out := make([]TableStats, n)
+	for i := range out {
+		counts := make([]float64, 10)
+		for b := range counts {
+			counts[b] = float64(rng.IntN(10000))
+		}
+		out[i] = TableStats{
+			Name:       string(rune('A' + i)),
+			Hist:       &histogram.Histogram{Spec: spec, Counts: counts},
+			TupleBytes: float64(1 + rng.IntN(1000)),
+		}
+	}
+	return out
+}
+
+// TestOptimizeDominatesRandomCatalogs is the optimizer's core soundness
+// property over random inputs: the DP optimum never costs more than any
+// left-deep permutation, and the plan orderings of Optimize/BestLeftDeep/
+// WorstPlan are consistent.
+func TestOptimizeDominatesRandomCatalogs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 29))
+	for trial := 0; trial < 150; trial++ {
+		tables := randomTables(rng)
+		opt := Optimize(tables)
+		best := BestLeftDeep(tables)
+		worst := WorstPlan(tables)
+		if opt.Bytes > best.Bytes+1e-6 {
+			t.Fatalf("trial %d: DP %v worse than best left-deep %v", trial, opt.Bytes, best.Bytes)
+		}
+		if best.Bytes > worst.Bytes+1e-6 {
+			t.Fatalf("trial %d: best left-deep above worst", trial)
+		}
+		// Output cardinality is plan-invariant.
+		if d := opt.Rows() - best.Rows(); d > 1e-3 || d < -1e-3 {
+			t.Fatalf("trial %d: output size differs across plans: %v vs %v", trial, opt.Rows(), best.Rows())
+		}
+	}
+}
+
+// TestFilterNeverIncreasesRows: applying a range predicate can only
+// shrink estimated cardinality, for any range.
+func TestFilterNeverIncreasesRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 37))
+	for trial := 0; trial < 200; trial++ {
+		tb := randomTables(rng)[0]
+		lo := 1 + rng.IntN(1000)
+		hi := lo + rng.IntN(1000)
+		f := tb.ApplyRange(lo, hi)
+		if f.Rows() > tb.Rows()+1e-9 {
+			t.Fatalf("filter increased rows: %v > %v", f.Rows(), tb.Rows())
+		}
+		// Idempotence holds for bucket-aligned ranges (partial buckets
+		// lose within-bucket position, so refiltering rescales them —
+		// inherent to histogram semantics, documented on ApplyRange).
+		blo, _ := tb.Hist.Spec.Bounds(2)
+		_, bhi := tb.Hist.Spec.Bounds(6)
+		aligned := tb.ApplyRange(blo, bhi-1)
+		again := aligned.ApplyRange(blo, bhi-1)
+		if d := again.Rows() - aligned.Rows(); d > 1e-6 || d < -1e-6 {
+			t.Fatalf("aligned filter not idempotent: %v vs %v", again.Rows(), aligned.Rows())
+		}
+	}
+}
+
+// TestJoinCommutative: join size estimation must not depend on operand
+// order.
+func TestJoinCommutative(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 43))
+	for trial := 0; trial < 100; trial++ {
+		ts := randomTables(rng)
+		a, b := ts[0], ts[1]
+		ab := joinStats(a, b)
+		ba := joinStats(b, a)
+		if d := ab.Rows() - ba.Rows(); d > 1e-6 || d < -1e-6 {
+			t.Fatalf("join not commutative: %v vs %v", ab.Rows(), ba.Rows())
+		}
+		if ab.TupleBytes != ba.TupleBytes {
+			t.Fatal("join width not commutative")
+		}
+	}
+}

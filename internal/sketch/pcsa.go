@@ -1,0 +1,134 @@
+package sketch
+
+import (
+	"math"
+
+	"dhsketch/internal/hashutil"
+)
+
+// phi is the magic constant 0.77351 of Flajolet & Martin; the paper's
+// eq. 4 estimates E(n) = (1/0.77351) · m · 2^{(1/m)·ΣM}.
+const phi = 0.77351
+
+// PCSA implements Probabilistic Counting with Stochastic Averaging
+// (Flajolet & Martin 1985). It maintains m bitmap vectors of w bits each;
+// element hashes select a vector with their low-order bits and set bit
+// ρ(remaining bits) in it. The estimate derives from the average position
+// of the leftmost 0-bit across vectors.
+type PCSA struct {
+	m       int      // number of bitmap vectors (power of two)
+	c       uint     // log2(m)
+	w       uint     // bitmap width in bits (≤ 64-c)
+	bitmaps []uint64 // one w-bit bitmap per vector, bit r = "some item had ρ = r"
+
+	// SmallRangeCorrection enables the Scheuermann–Mauve correction for
+	// small cardinalities, E = (m/φ)·(2^A − 2^(−1.75·A)); an extension
+	// beyond the paper, off by default.
+	SmallRangeCorrection bool
+}
+
+// NewPCSA returns an empty PCSA sketch with m vectors of w bits. m must be
+// a power of two and log₂(m)+w must not exceed 64.
+func NewPCSA(m int, w uint) (*PCSA, error) {
+	if err := validateParams(m, w); err != nil {
+		return nil, err
+	}
+	return &PCSA{
+		m:       m,
+		c:       hashutil.Log2(uint64(m)),
+		w:       w,
+		bitmaps: make([]uint64, m),
+	}, nil
+}
+
+// NumVectors returns m.
+func (p *PCSA) NumVectors() int { return p.m }
+
+// Width returns the bitmap width w in bits.
+func (p *PCSA) Width() uint { return p.w }
+
+// Add records one element by its 64-bit hash.
+func (p *PCSA) Add(hash uint64) {
+	v := int(hash & uint64(p.m-1))
+	r := hashutil.Rho(hashutil.Lsb(hash>>p.c, p.w), p.w)
+	if r >= p.w {
+		// The w-bit remainder was all zeros (probability 2^-w); clamp to
+		// the top bit rather than dropping the element.
+		r = p.w - 1
+	}
+	p.bitmaps[v] |= 1 << r
+}
+
+// Bitmap returns the raw bitmap of vector v, for tests and for the DHS
+// layer's ground-truth comparisons.
+func (p *PCSA) Bitmap(v int) uint64 { return p.bitmaps[v] }
+
+// LeftmostZeros returns, for each vector, the position of the leftmost
+// (least significant) 0-bit — the per-vector statistic M of eq. 4. A
+// vector whose w bits are all set contributes w.
+func (p *PCSA) LeftmostZeros() []int {
+	out := make([]int, p.m)
+	for i, b := range p.bitmaps {
+		out[i] = leftmostZero(b, p.w)
+	}
+	return out
+}
+
+// Estimate returns the PCSA cardinality estimate (the paper's eq. 4).
+func (p *PCSA) Estimate() float64 {
+	e := EstimatePCSA(p.LeftmostZeros())
+	if p.SmallRangeCorrection {
+		a := meanInt(p.LeftmostZeros())
+		e = float64(p.m) / phi * (math.Exp2(a) - math.Exp2(-1.75*a))
+	}
+	return e
+}
+
+// Merge ORs another PCSA sketch into the receiver.
+func (p *PCSA) Merge(other Estimator) error {
+	q, ok := other.(*PCSA)
+	if !ok || q.m != p.m || q.w != p.w {
+		return ErrIncompatible
+	}
+	for i := range p.bitmaps {
+		p.bitmaps[i] |= q.bitmaps[i]
+	}
+	return nil
+}
+
+// Reset clears all bitmaps.
+func (p *PCSA) Reset() {
+	for i := range p.bitmaps {
+		p.bitmaps[i] = 0
+	}
+}
+
+// EstimatePCSA computes the paper's eq. 4 from per-vector leftmost-0-bit
+// positions: E(n) = (1/0.77351) · m · 2^{(1/m)·ΣM}. The DHS counting
+// algorithm calls this with M values reconstructed from the overlay.
+func EstimatePCSA(leftmostZeros []int) float64 {
+	m := len(leftmostZeros)
+	if m == 0 {
+		return 0
+	}
+	return 1 / phi * float64(m) * math.Exp2(meanInt(leftmostZeros))
+}
+
+// leftmostZero returns the position of the lowest clear bit of b within
+// width w, or w if the low w bits are all set.
+func leftmostZero(b uint64, w uint) int {
+	for r := uint(0); r < w; r++ {
+		if b&(1<<r) == 0 {
+			return int(r)
+		}
+	}
+	return int(w)
+}
+
+func meanInt(xs []int) float64 {
+	var s int
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}

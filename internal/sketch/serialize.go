@@ -1,0 +1,152 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary layout: 4-byte magic, 1-byte version, 1-byte kind, 4-byte m
+// (big endian), 1-byte width, then the payload — m little-endian uint64
+// bitmaps for PCSA, m rank bytes for the LogLog family.
+var magic = [4]byte{'D', 'H', 'S', 'K'}
+
+const serializeVersion = 1
+
+func header(k Kind, m int, w uint) []byte {
+	buf := make([]byte, 0, 11)
+	buf = append(buf, magic[:]...)
+	buf = append(buf, serializeVersion, byte(k))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m))
+	buf = append(buf, byte(w))
+	return buf
+}
+
+func parseHeader(data []byte) (k Kind, m int, w uint, rest []byte, err error) {
+	if len(data) < 11 {
+		return 0, 0, 0, nil, fmt.Errorf("sketch: truncated header (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return 0, 0, 0, nil, fmt.Errorf("sketch: bad magic %q", data[:4])
+	}
+	if data[4] != serializeVersion {
+		return 0, 0, 0, nil, fmt.Errorf("sketch: unsupported version %d", data[4])
+	}
+	k = Kind(data[5])
+	m = int(binary.BigEndian.Uint32(data[6:10]))
+	w = uint(data[10])
+	return k, m, w, data[11:], nil
+}
+
+// MarshalBinary encodes the sketch for network transfer or storage.
+func (p *PCSA) MarshalBinary() ([]byte, error) {
+	buf := header(KindPCSA, p.m, p.w)
+	for _, b := range p.bitmaps {
+		buf = binary.LittleEndian.AppendUint64(buf, b)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a sketch previously encoded with MarshalBinary.
+func (p *PCSA) UnmarshalBinary(data []byte) error {
+	k, m, w, rest, err := parseHeader(data)
+	if err != nil {
+		return err
+	}
+	if k != KindPCSA {
+		return fmt.Errorf("sketch: expected PCSA payload, got %v", k)
+	}
+	if err := validateParams(m, w); err != nil {
+		return err
+	}
+	if len(rest) != 8*m {
+		return fmt.Errorf("sketch: PCSA payload is %d bytes, want %d", len(rest), 8*m)
+	}
+	np, _ := NewPCSA(m, w)
+	for i := range np.bitmaps {
+		np.bitmaps[i] = binary.LittleEndian.Uint64(rest[i*8:])
+	}
+	*p = *np
+	return nil
+}
+
+func marshalRanks(k Kind, m int, w uint, ranks []uint8) []byte {
+	buf := header(k, m, w)
+	return append(buf, ranks...)
+}
+
+func unmarshalRanks(want Kind, data []byte) (m int, w uint, ranks []uint8, err error) {
+	k, m, w, rest, err := parseHeader(data)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if k != want {
+		return 0, 0, nil, fmt.Errorf("sketch: expected %v payload, got %v", want, k)
+	}
+	if err := validateParams(m, w); err != nil {
+		return 0, 0, nil, err
+	}
+	if len(rest) != m {
+		return 0, 0, nil, fmt.Errorf("sketch: rank payload is %d bytes, want %d", len(rest), m)
+	}
+	return m, w, append([]uint8(nil), rest...), nil
+}
+
+// MarshalBinary encodes the sketch for network transfer or storage.
+func (l *LogLog) MarshalBinary() ([]byte, error) {
+	return marshalRanks(KindLogLog, l.m, l.w, l.rank), nil
+}
+
+// UnmarshalBinary decodes a sketch previously encoded with MarshalBinary.
+func (l *LogLog) UnmarshalBinary(data []byte) error {
+	m, w, ranks, err := unmarshalRanks(KindLogLog, data)
+	if err != nil {
+		return err
+	}
+	nl, err := NewLogLog(m, w)
+	if err != nil {
+		return err
+	}
+	nl.rank = ranks
+	*l = *nl
+	return nil
+}
+
+// MarshalBinary encodes the sketch for network transfer or storage.
+func (s *SuperLogLog) MarshalBinary() ([]byte, error) {
+	return marshalRanks(KindSuperLogLog, s.m, s.w, s.rank), nil
+}
+
+// UnmarshalBinary decodes a sketch previously encoded with MarshalBinary.
+func (s *SuperLogLog) UnmarshalBinary(data []byte) error {
+	m, w, ranks, err := unmarshalRanks(KindSuperLogLog, data)
+	if err != nil {
+		return err
+	}
+	ns, err := NewSuperLogLog(m, w)
+	if err != nil {
+		return err
+	}
+	ns.rank = ranks
+	*s = *ns
+	return nil
+}
+
+// MarshalBinary encodes the sketch for network transfer or storage.
+func (h *HyperLogLog) MarshalBinary() ([]byte, error) {
+	return marshalRanks(KindHyperLogLog, h.m, h.w, h.rank), nil
+}
+
+// UnmarshalBinary decodes a sketch previously encoded with MarshalBinary.
+func (h *HyperLogLog) UnmarshalBinary(data []byte) error {
+	m, w, ranks, err := unmarshalRanks(KindHyperLogLog, data)
+	if err != nil {
+		return err
+	}
+	nh, err := NewHyperLogLog(m, w)
+	if err != nil {
+		return err
+	}
+	nh.rank = ranks
+	*h = *nh
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness reports: means, deviations, relative errors,
+// percentiles, and load-balance metrics for access/storage distribution
+// across DHT nodes (constraint 3 of the paper).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// RelErr returns the signed relative error (est-actual)/actual.
+// It returns 0 when both are zero and +Inf when only actual is zero.
+func RelErr(est, actual float64) float64 {
+	if actual == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (est - actual) / actual
+}
+
+// AbsRelErr returns |est-actual|/actual, the error measure used by the
+// paper's accuracy tables ("error (%)").
+func AbsRelErr(est, actual float64) float64 {
+	return math.Abs(RelErr(est, actual))
+}
+
+// RMSE returns the root-mean-square of the pairwise errors est[i]-actual[i].
+// The slices must have equal length.
+func RMSE(est, actual []float64) float64 {
+	if len(est) != len(actual) {
+		panic("stats: RMSE slice length mismatch")
+	}
+	if len(est) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range est {
+		d := est[i] - actual[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(est)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// LoadImbalance returns max/mean of the per-node load vector — 1.0 is a
+// perfectly balanced system; a one-node-per-counter scheme on an N-node
+// network scores N. Zero-mean vectors return 0.
+func LoadImbalance(loads []float64) float64 {
+	m := Mean(loads)
+	if m == 0 {
+		return 0
+	}
+	return Max(loads) / m
+}
+
+// Gini returns the Gini coefficient of the load vector: 0 for perfectly
+// uniform load, approaching 1 as load concentrates on a single node. It
+// does not modify loads. Negative loads are not meaningful here and panic.
+func Gini(loads []float64) float64 {
+	n := len(loads)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), loads...)
+	sort.Float64s(sorted)
+	if sorted[0] < 0 {
+		panic("stats: negative load")
+	}
+	var cum, weighted float64
+	for i, x := range sorted {
+		cum += x
+		weighted += float64(i+1) * x
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*cum) / (float64(n) * cum)
+}
+
+// IntsToFloats converts an integer load vector for use with the float
+// statistics above.
+func IntsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of singleton should be 0")
+	}
+	// Population stddev of {2,4,4,4,5,5,7,9} is exactly 2.
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); !almost(got, 0.1, 1e-12) {
+		t.Errorf("RelErr(110,100) = %v", got)
+	}
+	if got := RelErr(90, 100); !almost(got, -0.1, 1e-12) {
+		t.Errorf("RelErr(90,100) = %v", got)
+	}
+	if RelErr(0, 0) != 0 {
+		t.Error("RelErr(0,0) != 0")
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Error("RelErr(1,0) should be +Inf")
+	}
+	if got := AbsRelErr(90, 100); !almost(got, 0.1, 1e-12) {
+		t.Errorf("AbsRelErr = %v", got)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Errorf("RMSE of identical = %v", got)
+	}
+	if got := RMSE([]float64{3, 0}, []float64{0, 4}); !almost(got, 3.5355339, 1e-6) {
+		t.Errorf("RMSE = %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RMSE length mismatch did not panic")
+			}
+		}()
+		RMSE([]float64{1}, []float64{1, 2})
+	}()
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 35 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 20 {
+		t.Errorf("p25 = %v", got)
+	}
+	// Input must be left unsorted/unmodified.
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 50)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Error("Percentile modified its input")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxMinSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Max(xs) != 7 || Min(xs) != -1 || Sum(xs) != 9 {
+		t.Errorf("Max/Min/Sum = %v/%v/%v", Max(xs), Min(xs), Sum(xs))
+	}
+	if Max(nil) != 0 || Min(nil) != 0 || Sum(nil) != 0 {
+		t.Error("empty-slice aggregates should be 0")
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	if got := LoadImbalance([]float64{5, 5, 5, 5}); !almost(got, 1, 1e-12) {
+		t.Errorf("uniform load imbalance = %v, want 1", got)
+	}
+	// All load on one of four nodes: max/mean = 4.
+	if got := LoadImbalance([]float64{20, 0, 0, 0}); !almost(got, 4, 1e-12) {
+		t.Errorf("concentrated load imbalance = %v, want 4", got)
+	}
+	if LoadImbalance([]float64{0, 0}) != 0 {
+		t.Error("zero load should give 0")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if got := Gini([]float64{1, 1, 1, 1}); !almost(got, 0, 1e-12) {
+		t.Errorf("uniform Gini = %v", got)
+	}
+	// Load concentrated on one node out of many approaches 1.
+	loads := make([]float64, 1000)
+	loads[0] = 1
+	if got := Gini(loads); got < 0.99 {
+		t.Errorf("concentrated Gini = %v, want near 1", got)
+	}
+	if Gini(nil) != 0 {
+		t.Error("Gini(nil) != 0")
+	}
+}
+
+func TestGiniRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(100)
+		loads := make([]float64, n)
+		for i := range loads {
+			loads[i] = float64(rng.IntN(1000))
+		}
+		g := Gini(loads)
+		if g < -1e-12 || g >= 1 {
+			t.Fatalf("Gini out of [0,1): %v for %v", g, loads)
+		}
+	}
+}
+
+func TestIntsToFloats(t *testing.T) {
+	got := IntsToFloats([]int{1, 2, 3})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("IntsToFloats = %v", got)
+	}
+}
+
+func TestMeanStdDevAgainstNormalSample(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 1))
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	if m := Mean(xs); !almost(m, 10, 0.1) {
+		t.Errorf("sample mean = %v, want ~10", m)
+	}
+	if s := StdDev(xs); !almost(s, 3, 0.1) {
+		t.Errorf("sample stddev = %v, want ~3", s)
+	}
+}

@@ -1,0 +1,246 @@
+// Package wire defines the binary message formats of the DHS protocol:
+// the <metric_id, vector_id, bit, time_out> tuple of §3.2 and the
+// counting probe request/reply of §4. The simulation accounts costs with
+// the byte-size model of internal/core; this package pins that model to
+// concrete, codec-tested encodings, so a networked deployment of the
+// library has an interoperable wire format and the simulated byte counts
+// provably correspond to real message sizes (wire_test asserts the
+// equivalence with core's constants).
+//
+// Layout conventions: fixed-width big-endian integers, no framing (the
+// transport is expected to provide it), version byte first.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version identifies the wire format.
+const Version = 1
+
+// Message type tags.
+const (
+	TagInsert     = 0x01 // store/refresh one tuple
+	TagBulkInsert = 0x02 // store/refresh many tuples of one bit position
+	TagProbeReq   = 0x03 // counting probe request
+	TagProbeResp  = 0x04 // counting probe reply
+)
+
+var (
+	// ErrShort is returned when a buffer is too small for its header or
+	// declared payload.
+	ErrShort = errors.New("wire: short message")
+	// ErrBadMessage is returned on version/tag mismatches.
+	ErrBadMessage = errors.New("wire: malformed message")
+)
+
+// Insert is the paper's DHS tuple: which bit of which bitmap vector of
+// which metric to set, and the soft-state lifetime to store it with.
+//
+// The paper packs it into 64 bits using deployment-specific field sizes
+// (§5.1: 8-bit metric, 16-bit vector, 8-bit bit, 32-bit timeout). This
+// codec spends a 2-byte header (version + tag) plus a trimmed tuple so
+// the total stays within the 8-byte budget the cost model charges for
+// the tuple itself, plus core.MsgHeaderBytes of envelope.
+type Insert struct {
+	Metric uint64 // full 64-bit metric identifiers are hashed down below
+	Vector uint16
+	Bit    uint8
+	TTL    uint16 // lifetime in coarse ticks
+}
+
+// insertSize = version(1) + tag(1) + metric(2, folded) + vector(2) +
+// bit(1) + ttl(2) = 9 bytes... the codec folds the metric to 16 bits on
+// the wire because the receiving node resolves collisions against its
+// local tuple keys; see FoldMetric.
+const insertSize = 9
+
+// FoldMetric compresses a 64-bit metric identifier to the 16-bit wire
+// form the paper's evaluation uses (§5.1 allots 8 bits; 16 here gives a
+// 2^16 metric namespace per deployment). Receivers must treat it as a
+// namespace-local identifier.
+func FoldMetric(metric uint64) uint16 {
+	return uint16(metric ^ metric>>16 ^ metric>>32 ^ metric>>48)
+}
+
+// EncodeInsert serializes an Insert message.
+func EncodeInsert(m Insert) []byte {
+	buf := make([]byte, insertSize)
+	buf[0] = Version
+	buf[1] = TagInsert
+	binary.BigEndian.PutUint16(buf[2:], FoldMetric(m.Metric))
+	binary.BigEndian.PutUint16(buf[4:], m.Vector)
+	buf[6] = m.Bit
+	binary.BigEndian.PutUint16(buf[7:], m.TTL)
+	return buf
+}
+
+// DecodeInsert parses an Insert message. The Metric field of the result
+// holds the folded 16-bit identifier.
+func DecodeInsert(buf []byte) (Insert, error) {
+	if len(buf) < insertSize {
+		return Insert{}, ErrShort
+	}
+	if buf[0] != Version || buf[1] != TagInsert {
+		return Insert{}, ErrBadMessage
+	}
+	return Insert{
+		Metric: uint64(binary.BigEndian.Uint16(buf[2:])),
+		Vector: binary.BigEndian.Uint16(buf[4:]),
+		Bit:    buf[6],
+		TTL:    binary.BigEndian.Uint16(buf[7:]),
+	}, nil
+}
+
+// BulkInsert carries every vector that sets one bit position of one
+// metric — the §3.2 bulk optimization groups per-bit.
+type BulkInsert struct {
+	Metric  uint64
+	Bit     uint8
+	TTL     uint16
+	Vectors []uint16
+}
+
+// EncodeBulkInsert serializes a BulkInsert message: an 8-byte header
+// followed by 2 bytes per vector.
+func EncodeBulkInsert(m BulkInsert) []byte {
+	buf := make([]byte, 8+2*len(m.Vectors))
+	buf[0] = Version
+	buf[1] = TagBulkInsert
+	binary.BigEndian.PutUint16(buf[2:], FoldMetric(m.Metric))
+	buf[4] = m.Bit
+	binary.BigEndian.PutUint16(buf[5:], m.TTL)
+	// buf[7] reserved; the vector count is implicit in the length.
+	for i, v := range m.Vectors {
+		binary.BigEndian.PutUint16(buf[8+2*i:], v)
+	}
+	return buf
+}
+
+// DecodeBulkInsert parses a BulkInsert message.
+func DecodeBulkInsert(buf []byte) (BulkInsert, error) {
+	if len(buf) < 8 {
+		return BulkInsert{}, ErrShort
+	}
+	if buf[0] != Version || buf[1] != TagBulkInsert {
+		return BulkInsert{}, ErrBadMessage
+	}
+	if (len(buf)-8)%2 != 0 {
+		return BulkInsert{}, ErrBadMessage
+	}
+	m := BulkInsert{
+		Metric: uint64(binary.BigEndian.Uint16(buf[2:])),
+		Bit:    buf[4],
+		TTL:    binary.BigEndian.Uint16(buf[5:]),
+	}
+	for i := 8; i < len(buf); i += 2 {
+		m.Vectors = append(m.Vectors, binary.BigEndian.Uint16(buf[i:]))
+	}
+	return m, nil
+}
+
+// ProbeReq asks a node which bitmap vectors have the given bit set, for
+// each of the listed metrics (multi-dimensional counting sends several).
+type ProbeReq struct {
+	Bit     uint8
+	Metrics []uint64
+}
+
+// EncodeProbeReq serializes a probe request: version, tag, bit, metric
+// count, then 2 bytes per folded metric. A single-metric request is 7
+// bytes — within the core.ProbeReqBytes=16 budget of the cost model.
+func EncodeProbeReq(m ProbeReq) []byte {
+	buf := make([]byte, 5+2*len(m.Metrics))
+	buf[0] = Version
+	buf[1] = TagProbeReq
+	buf[2] = m.Bit
+	binary.BigEndian.PutUint16(buf[3:], uint16(len(m.Metrics)))
+	for i, metric := range m.Metrics {
+		binary.BigEndian.PutUint16(buf[5+2*i:], FoldMetric(metric))
+	}
+	return buf
+}
+
+// DecodeProbeReq parses a probe request; Metrics holds folded IDs.
+func DecodeProbeReq(buf []byte) (ProbeReq, error) {
+	if len(buf) < 5 {
+		return ProbeReq{}, ErrShort
+	}
+	if buf[0] != Version || buf[1] != TagProbeReq {
+		return ProbeReq{}, ErrBadMessage
+	}
+	n := int(binary.BigEndian.Uint16(buf[3:]))
+	if len(buf) < 5+2*n {
+		return ProbeReq{}, ErrShort
+	}
+	m := ProbeReq{Bit: buf[2]}
+	for i := 0; i < n; i++ {
+		m.Metrics = append(m.Metrics, uint64(binary.BigEndian.Uint16(buf[5+2*i:])))
+	}
+	return m, nil
+}
+
+// ProbeResp answers a probe: per requested metric, a bitmask over the m
+// bitmap vectors marking which have the bit set at this node.
+type ProbeResp struct {
+	Bit      uint8
+	NumVecs  uint16   // m, fixing the per-metric mask width
+	VecMasks [][]byte // one ⌈m/8⌉-byte mask per requested metric
+}
+
+// MaskBytes returns the size of one vector mask: ⌈m/8⌉.
+func MaskBytes(numVecs int) int { return (numVecs + 7) / 8 }
+
+// EncodeProbeResp serializes a probe reply: an 8-byte header plus one
+// mask per metric — exactly the core cost model's
+// MsgHeaderBytes + metrics×⌈m/8⌉ accounting.
+func EncodeProbeResp(m ProbeResp) ([]byte, error) {
+	mask := MaskBytes(int(m.NumVecs))
+	buf := make([]byte, 8, 8+len(m.VecMasks)*mask)
+	buf[0] = Version
+	buf[1] = TagProbeResp
+	buf[2] = m.Bit
+	binary.BigEndian.PutUint16(buf[3:], m.NumVecs)
+	binary.BigEndian.PutUint16(buf[5:], uint16(len(m.VecMasks)))
+	// buf[7] reserved
+	for i, vm := range m.VecMasks {
+		if len(vm) != mask {
+			return nil, fmt.Errorf("wire: mask %d is %d bytes, want %d", i, len(vm), mask)
+		}
+		buf = append(buf, vm...)
+	}
+	return buf, nil
+}
+
+// DecodeProbeResp parses a probe reply.
+func DecodeProbeResp(buf []byte) (ProbeResp, error) {
+	if len(buf) < 8 {
+		return ProbeResp{}, ErrShort
+	}
+	if buf[0] != Version || buf[1] != TagProbeResp {
+		return ProbeResp{}, ErrBadMessage
+	}
+	m := ProbeResp{
+		Bit:     buf[2],
+		NumVecs: binary.BigEndian.Uint16(buf[3:]),
+	}
+	count := int(binary.BigEndian.Uint16(buf[5:]))
+	mask := MaskBytes(int(m.NumVecs))
+	if len(buf) < 8+count*mask {
+		return ProbeResp{}, ErrShort
+	}
+	for i := 0; i < count; i++ {
+		vm := make([]byte, mask)
+		copy(vm, buf[8+i*mask:])
+		m.VecMasks = append(m.VecMasks, vm)
+	}
+	return m, nil
+}
+
+// SetVec marks vector v in a mask.
+func SetVec(mask []byte, v int) { mask[v/8] |= 1 << (v % 8) }
+
+// HasVec reports whether vector v is marked in a mask.
+func HasVec(mask []byte, v int) bool { return mask[v/8]&(1<<(v%8)) != 0 }

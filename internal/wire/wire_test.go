@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dhsketch/internal/core"
+)
+
+func TestInsertRoundTrip(t *testing.T) {
+	f := func(metric uint64, vector uint16, bit uint8, ttl uint16) bool {
+		enc := EncodeInsert(Insert{Metric: metric, Vector: vector, Bit: bit, TTL: ttl})
+		dec, err := DecodeInsert(enc)
+		if err != nil {
+			return false
+		}
+		return dec.Metric == uint64(FoldMetric(metric)) &&
+			dec.Vector == vector && dec.Bit == bit && dec.TTL == ttl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertSizeMatchesCostModel(t *testing.T) {
+	// The cost model charges TupleBytes + MsgHeaderBytes per insertion
+	// message; the concrete encoding must fit in that budget.
+	enc := EncodeInsert(Insert{Metric: 1, Vector: 2, Bit: 3, TTL: 4})
+	if len(enc) > core.TupleBytes+core.MsgHeaderBytes {
+		t.Errorf("insert message is %d bytes, model budget %d", len(enc), core.TupleBytes+core.MsgHeaderBytes)
+	}
+}
+
+func TestBulkInsertRoundTrip(t *testing.T) {
+	m := BulkInsert{Metric: 0xDEADBEEF12345678, Bit: 17, TTL: 600, Vectors: []uint16{0, 5, 511, 1023}}
+	enc := EncodeBulkInsert(m)
+	dec, err := DecodeBulkInsert(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Bit != 17 || dec.TTL != 600 || len(dec.Vectors) != 4 {
+		t.Errorf("decoded %+v", dec)
+	}
+	for i, v := range m.Vectors {
+		if dec.Vectors[i] != v {
+			t.Errorf("vector %d: %d != %d", i, dec.Vectors[i], v)
+		}
+	}
+	// Per-vector wire cost must not exceed the model's TupleBytes.
+	perVector := float64(len(enc)-8) / float64(len(m.Vectors))
+	if perVector > core.TupleBytes {
+		t.Errorf("bulk spends %.1f bytes/vector, model charges %d", perVector, core.TupleBytes)
+	}
+}
+
+func TestBulkInsertEmpty(t *testing.T) {
+	enc := EncodeBulkInsert(BulkInsert{Metric: 9, Bit: 1, TTL: 2})
+	dec, err := DecodeBulkInsert(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Vectors) != 0 {
+		t.Errorf("decoded %d vectors from empty bulk", len(dec.Vectors))
+	}
+}
+
+func TestProbeReqRoundTrip(t *testing.T) {
+	m := ProbeReq{Bit: 9, Metrics: []uint64{1, 0xABCDEF, 1 << 60}}
+	enc := EncodeProbeReq(m)
+	dec, err := DecodeProbeReq(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Bit != 9 || len(dec.Metrics) != 3 {
+		t.Errorf("decoded %+v", dec)
+	}
+	for i, metric := range m.Metrics {
+		if dec.Metrics[i] != uint64(FoldMetric(metric)) {
+			t.Errorf("metric %d not folded consistently", i)
+		}
+	}
+}
+
+func TestProbeReqSizeMatchesCostModel(t *testing.T) {
+	// A single-metric probe request must fit the model's ProbeReqBytes.
+	enc := EncodeProbeReq(ProbeReq{Bit: 1, Metrics: []uint64{42}})
+	if len(enc) > core.ProbeReqBytes {
+		t.Errorf("probe request is %d bytes, model budget %d", len(enc), core.ProbeReqBytes)
+	}
+}
+
+func TestProbeRespRoundTrip(t *testing.T) {
+	const m = 512
+	mask1 := make([]byte, MaskBytes(m))
+	mask2 := make([]byte, MaskBytes(m))
+	SetVec(mask1, 0)
+	SetVec(mask1, 511)
+	SetVec(mask2, 100)
+	resp := ProbeResp{Bit: 7, NumVecs: m, VecMasks: [][]byte{mask1, mask2}}
+	enc, err := EncodeProbeResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeProbeResp(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Bit != 7 || dec.NumVecs != m || len(dec.VecMasks) != 2 {
+		t.Fatalf("decoded %+v", dec)
+	}
+	if !HasVec(dec.VecMasks[0], 0) || !HasVec(dec.VecMasks[0], 511) || HasVec(dec.VecMasks[0], 100) {
+		t.Error("mask 0 bits wrong")
+	}
+	if !HasVec(dec.VecMasks[1], 100) || HasVec(dec.VecMasks[1], 0) {
+		t.Error("mask 1 bits wrong")
+	}
+	if !bytes.Equal(dec.VecMasks[0], mask1) {
+		t.Error("mask bytes not preserved")
+	}
+}
+
+func TestProbeRespSizeMatchesCostModel(t *testing.T) {
+	// The cost model charges MsgHeaderBytes + metrics×⌈m/8⌉ per reply;
+	// the encoding must match exactly.
+	const m, metrics = 512, 100
+	masks := make([][]byte, metrics)
+	for i := range masks {
+		masks[i] = make([]byte, MaskBytes(m))
+	}
+	enc, err := EncodeProbeResp(ProbeResp{NumVecs: m, VecMasks: masks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.MsgHeaderBytes + metrics*MaskBytes(m)
+	if len(enc) != want {
+		t.Errorf("probe reply is %d bytes, model says %d", len(enc), want)
+	}
+}
+
+func TestProbeRespMaskSizeValidation(t *testing.T) {
+	_, err := EncodeProbeResp(ProbeResp{NumVecs: 64, VecMasks: [][]byte{make([]byte, 3)}})
+	if err == nil {
+		t.Error("wrong mask size accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func([]byte) error
+	}{
+		{"insert", func(b []byte) error { _, err := DecodeInsert(b); return err }},
+		{"bulk", func(b []byte) error { _, err := DecodeBulkInsert(b); return err }},
+		{"probeReq", func(b []byte) error { _, err := DecodeProbeReq(b); return err }},
+		{"probeResp", func(b []byte) error { _, err := DecodeProbeResp(b); return err }},
+	}
+	for _, c := range cases {
+		if c.f(nil) == nil {
+			t.Errorf("%s: nil accepted", c.name)
+		}
+		if c.f([]byte{Version}) == nil {
+			t.Errorf("%s: 1-byte accepted", c.name)
+		}
+		// Wrong version.
+		bad := make([]byte, 32)
+		bad[0] = 99
+		if c.f(bad) == nil {
+			t.Errorf("%s: bad version accepted", c.name)
+		}
+		// Wrong tag (valid version, zero tag).
+		bad[0] = Version
+		if c.f(bad) == nil {
+			t.Errorf("%s: bad tag accepted", c.name)
+		}
+	}
+	// Truncated declared payloads.
+	req := EncodeProbeReq(ProbeReq{Bit: 1, Metrics: []uint64{1, 2, 3}})
+	if _, err := DecodeProbeReq(req[:len(req)-2]); err == nil {
+		t.Error("truncated probe request accepted")
+	}
+	bulk := EncodeBulkInsert(BulkInsert{Metric: 1, Vectors: []uint16{1, 2}})
+	if _, err := DecodeBulkInsert(bulk[:len(bulk)-1]); err == nil {
+		t.Error("odd-length bulk accepted")
+	}
+}
+
+func TestCrossTagRejected(t *testing.T) {
+	ins := EncodeInsert(Insert{Metric: 1})
+	if _, err := DecodeBulkInsert(ins); err == nil {
+		t.Error("insert decoded as bulk")
+	}
+	req := EncodeProbeReq(ProbeReq{Metrics: []uint64{1, 2}})
+	if _, err := DecodeProbeResp(req); err == nil {
+		t.Error("request decoded as response")
+	}
+}
+
+func TestSetHasVecProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		v := int(raw % 512)
+		mask := make([]byte, MaskBytes(512))
+		SetVec(mask, v)
+		if !HasVec(mask, v) {
+			return false
+		}
+		// No other bit may be set.
+		count := 0
+		for i := 0; i < 512; i++ {
+			if HasVec(mask, i) {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

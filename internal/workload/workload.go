@@ -1,0 +1,194 @@
+// Package workload generates the synthetic datasets of the paper's
+// evaluation (§5.1): relations of single-attribute tuples whose values
+// follow a Zipf distribution with θ = 0.7, assigned uniformly at random
+// to the overlay's nodes.
+//
+// Go's standard rand.Zipf requires an exponent s > 1, while the paper's
+// θ = 0.7 < 1, so the package implements a general Zipf sampler over a
+// finite domain via an inverse-CDF table.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"dhsketch/internal/md4"
+)
+
+// Zipf samples ranks 1..V with P(rank = i) ∝ i^(−θ) for any θ ≥ 0,
+// including the paper's θ = 0.7. Sampling is O(log V) by binary search
+// over the precomputed CDF.
+type Zipf struct {
+	theta float64
+	cdf   []float64 // cdf[i] = P(rank ≤ i+1)
+	rng   *rand.Rand
+}
+
+// NewZipf builds a sampler over the domain {1, ..., v} with exponent
+// theta, drawing randomness from rng.
+func NewZipf(rng *rand.Rand, v int, theta float64) *Zipf {
+	if v < 1 {
+		panic("workload: Zipf domain must be non-empty")
+	}
+	if theta < 0 {
+		panic("workload: negative Zipf exponent")
+	}
+	cdf := make([]float64, v)
+	var sum float64
+	for i := 1; i <= v; i++ {
+		sum += math.Pow(float64(i), -theta)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{theta: theta, cdf: cdf, rng: rng}
+}
+
+// Draw returns a rank in [1, V].
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u) + 1
+}
+
+// Prob returns P(rank = i).
+func (z *Zipf) Prob(i int) float64 {
+	if i < 1 || i > len(z.cdf) {
+		return 0
+	}
+	if i == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[i-1] - z.cdf[i-2]
+}
+
+// Domain returns the domain size V.
+func (z *Zipf) Domain() int { return len(z.cdf) }
+
+// Relation describes one synthetic relation. The paper's evaluation hosts
+// four — Q, R, S, T — with 10, 20, 40 and 80 million single-attribute
+// 1 kB tuples.
+type Relation struct {
+	// Name labels the relation (e.g. "Q").
+	Name string
+	// Tuples is the number of tuples.
+	Tuples int
+	// TupleBytes is the per-tuple payload size (1 kB in the paper).
+	TupleBytes int
+	// AttrMin and AttrMax bound the attribute domain [AttrMin, AttrMax].
+	AttrMin, AttrMax int
+	// Theta is the Zipf exponent of the attribute distribution.
+	Theta float64
+}
+
+// Tuple is one generated row: a synthetic identifier plus the attribute
+// value.
+type Tuple struct {
+	// ID is the tuple's 64-bit DHT key (MD4 of relation name and row
+	// number), the input to DHS insertion.
+	ID uint64
+	// Attr is the single integer attribute.
+	Attr int
+}
+
+// PaperRelations returns the four evaluation relations scaled down by
+// the given divisor (scale 1 = the paper's 10/20/40/80 M tuples). The
+// attribute domain spans 10 000 values so 100-bucket histograms have 100
+// values per bucket.
+func PaperRelations(scale int) []Relation {
+	if scale < 1 {
+		panic("workload: scale must be at least 1")
+	}
+	mk := func(name string, millions int) Relation {
+		return Relation{
+			Name:       name,
+			Tuples:     millions * 1000000 / scale,
+			TupleBytes: 1024,
+			AttrMin:    1,
+			AttrMax:    10000,
+			Theta:      0.7,
+		}
+	}
+	return []Relation{mk("Q", 10), mk("R", 20), mk("S", 40), mk("T", 80)}
+}
+
+// Generator streams the tuples of a relation deterministically: the same
+// relation and seed always produce the same rows, without materializing
+// the relation in memory.
+type Generator struct {
+	rel  Relation
+	zipf *Zipf
+	next int
+}
+
+// NewGenerator returns a tuple stream for the relation. Different seeds
+// give different (but each reproducible) attribute sequences.
+func NewGenerator(rel Relation, seed uint64) *Generator {
+	if rel.Tuples < 0 || rel.AttrMax < rel.AttrMin {
+		panic("workload: malformed relation")
+	}
+	rng := rand.New(rand.NewPCG(seed, md4.Sum64([]byte("workload|"+rel.Name))))
+	return &Generator{
+		rel:  rel,
+		zipf: NewZipf(rng, rel.AttrMax-rel.AttrMin+1, rel.Theta),
+	}
+}
+
+// Next returns the next tuple, or false after the last one.
+func (g *Generator) Next() (Tuple, bool) {
+	if g.next >= g.rel.Tuples {
+		return Tuple{}, false
+	}
+	i := g.next
+	g.next++
+	return Tuple{
+		ID:   TupleID(g.rel.Name, i),
+		Attr: g.rel.AttrMin + g.zipf.Draw() - 1,
+	}, true
+}
+
+// Remaining returns how many tuples the stream has left.
+func (g *Generator) Remaining() int { return g.rel.Tuples - g.next }
+
+// TupleID derives the DHT key of row i of the named relation.
+func TupleID(relation string, i int) uint64 {
+	return md4.Sum64([]byte(fmt.Sprintf("tuple|%s|%d", relation, i)))
+}
+
+// ExactHistogram materializes the true equi-width histogram of the
+// relation's attribute over `buckets` buckets — the ground truth the
+// DHS-reconstructed histograms are scored against. It streams the
+// relation with the same seed the caller used for insertion.
+func ExactHistogram(rel Relation, seed uint64, buckets int) []int {
+	counts := make([]int, buckets)
+	g := NewGenerator(rel, seed)
+	width := bucketWidth(rel, buckets)
+	for {
+		tup, ok := g.Next()
+		if !ok {
+			break
+		}
+		b := (tup.Attr - rel.AttrMin) / width
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// bucketWidth returns the equi-width bucket size S = (max-min+1)/I,
+// rounded up so the buckets cover the domain.
+func bucketWidth(rel Relation, buckets int) int {
+	domain := rel.AttrMax - rel.AttrMin + 1
+	w := domain / buckets
+	if domain%buckets != 0 {
+		w++
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewPCG(1, 2)) }
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(testRNG(), 100, 0.7)
+	var sum float64
+	for i := 1; i <= 100; i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+	if z.Prob(0) != 0 || z.Prob(101) != 0 {
+		t.Error("out-of-domain ranks should have probability 0")
+	}
+	if z.Domain() != 100 {
+		t.Errorf("Domain = %d", z.Domain())
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z := NewZipf(testRNG(), 1000, 0.7)
+	for i := 1; i < 1000; i++ {
+		if z.Prob(i) < z.Prob(i+1) {
+			t.Fatalf("P(%d) < P(%d)", i, i+1)
+		}
+	}
+}
+
+func TestZipfEmpiricalMatchesTheory(t *testing.T) {
+	const v, n = 50, 200000
+	z := NewZipf(testRNG(), v, 0.7)
+	counts := make([]int, v+1)
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	for i := 1; i <= v; i++ {
+		want := z.Prob(i) * n
+		got := float64(counts[i])
+		if want > 500 && math.Abs(got-want) > 0.15*want {
+			t.Errorf("rank %d: %v draws, expected ~%.0f", i, got, want)
+		}
+	}
+}
+
+func TestZipfThetaZeroIsUniform(t *testing.T) {
+	z := NewZipf(testRNG(), 10, 0)
+	for i := 1; i <= 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-9 {
+			t.Errorf("theta=0: P(%d) = %v, want 0.1", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	z := NewZipf(testRNG(), 7, 1.2)
+	for i := 0; i < 10000; i++ {
+		r := z.Draw()
+		if r < 1 || r > 7 {
+			t.Fatalf("draw %d out of [1,7]", r)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(testRNG(), 0, 0.7) },
+		func() { NewZipf(testRNG(), 10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPaperRelations(t *testing.T) {
+	rels := PaperRelations(1)
+	if len(rels) != 4 {
+		t.Fatalf("got %d relations", len(rels))
+	}
+	wantTuples := []int{10000000, 20000000, 40000000, 80000000}
+	wantNames := []string{"Q", "R", "S", "T"}
+	for i, r := range rels {
+		if r.Name != wantNames[i] || r.Tuples != wantTuples[i] {
+			t.Errorf("relation %d = %+v", i, r)
+		}
+		if r.TupleBytes != 1024 || r.Theta != 0.7 {
+			t.Errorf("relation %s params wrong", r.Name)
+		}
+	}
+	scaled := PaperRelations(10)
+	if scaled[0].Tuples != 1000000 {
+		t.Errorf("scale 10: Q has %d tuples", scaled[0].Tuples)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scale 0 should panic")
+			}
+		}()
+		PaperRelations(0)
+	}()
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	rel := Relation{Name: "X", Tuples: 1000, AttrMin: 1, AttrMax: 100, Theta: 0.7}
+	g1 := NewGenerator(rel, 42)
+	g2 := NewGenerator(rel, 42)
+	for {
+		t1, ok1 := g1.Next()
+		t2, ok2 := g2.Next()
+		if ok1 != ok2 {
+			t.Fatal("streams of different length")
+		}
+		if !ok1 {
+			break
+		}
+		if t1 != t2 {
+			t.Fatal("same seed, different tuples")
+		}
+	}
+}
+
+func TestGeneratorSeedChangesAttrsNotIDs(t *testing.T) {
+	rel := Relation{Name: "X", Tuples: 200, AttrMin: 1, AttrMax: 1000, Theta: 0.7}
+	g1 := NewGenerator(rel, 1)
+	g2 := NewGenerator(rel, 2)
+	attrsDiffer := false
+	for {
+		t1, ok := g1.Next()
+		t2, _ := g2.Next()
+		if !ok {
+			break
+		}
+		if t1.ID != t2.ID {
+			t.Fatal("tuple IDs must not depend on the seed")
+		}
+		if t1.Attr != t2.Attr {
+			attrsDiffer = true
+		}
+	}
+	if !attrsDiffer {
+		t.Error("different seeds produced identical attribute streams")
+	}
+}
+
+func TestGeneratorExhausts(t *testing.T) {
+	rel := Relation{Name: "Y", Tuples: 5, AttrMin: 1, AttrMax: 10, Theta: 0.7}
+	g := NewGenerator(rel, 1)
+	if g.Remaining() != 5 {
+		t.Errorf("Remaining = %d", g.Remaining())
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := g.Next(); !ok {
+			t.Fatal("stream ended early")
+		}
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("stream did not end")
+	}
+	if g.Remaining() != 0 {
+		t.Errorf("Remaining after exhaustion = %d", g.Remaining())
+	}
+}
+
+func TestTupleIDsDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for _, rel := range []string{"Q", "R"} {
+		for i := 0; i < 50000; i++ {
+			id := TupleID(rel, i)
+			if seen[id] {
+				t.Fatalf("duplicate tuple ID for %s/%d", rel, i)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestExactHistogram(t *testing.T) {
+	rel := Relation{Name: "H", Tuples: 50000, AttrMin: 1, AttrMax: 10000, Theta: 0.7}
+	h := ExactHistogram(rel, 7, 100)
+	if len(h) != 100 {
+		t.Fatalf("got %d buckets", len(h))
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != rel.Tuples {
+		t.Errorf("histogram sums to %d, want %d", total, rel.Tuples)
+	}
+	// Zipf skew: the first bucket (smallest attribute values) must be
+	// the heaviest by far.
+	maxB, maxC := 0, 0
+	for b, c := range h {
+		if c > maxC {
+			maxB, maxC = b, c
+		}
+	}
+	if maxB != 0 {
+		t.Errorf("heaviest bucket is %d, want 0 under Zipf skew", maxB)
+	}
+	if maxC < 2*h[50] {
+		t.Errorf("bucket 0 (%d) not clearly heavier than bucket 50 (%d)", maxC, h[50])
+	}
+}
+
+func TestExactHistogramMatchesGeneratorStream(t *testing.T) {
+	rel := Relation{Name: "H2", Tuples: 20000, AttrMin: 1, AttrMax: 1000, Theta: 0.7}
+	const buckets = 10
+	want := make([]int, buckets)
+	g := NewGenerator(rel, 3)
+	for {
+		tup, ok := g.Next()
+		if !ok {
+			break
+		}
+		b := (tup.Attr - 1) / 100
+		want[b]++
+	}
+	got := ExactHistogram(rel, 3, buckets)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBucketWidthCoversDomain(t *testing.T) {
+	for _, c := range []struct {
+		domain, buckets int
+	}{{10000, 100}, {10000, 99}, {7, 3}, {1, 5}, {100, 100}} {
+		rel := Relation{AttrMin: 1, AttrMax: c.domain}
+		w := bucketWidth(rel, c.buckets)
+		if w < 1 {
+			t.Fatalf("width %d", w)
+		}
+		if w*c.buckets < c.domain {
+			t.Errorf("domain %d, %d buckets: width %d does not cover", c.domain, c.buckets, w)
+		}
+	}
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	z := NewZipf(testRNG(), 10000, 0.7)
+	for i := 0; i < b.N; i++ {
+		z.Draw()
+	}
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	rel := Relation{Name: "B", Tuples: 1 << 30, AttrMin: 1, AttrMax: 10000, Theta: 0.7}
+	g := NewGenerator(rel, 1)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
