@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the full pre-merge gate: tier-1 (build + test) plus vet and
+# the race detector.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dhsbench [-experiment all|e1|...|e11] [-nodes 1024] [-scale 100]
+//	dhsbench [-experiment all|e1|...|e12|e12f] [-nodes 1024] [-scale 100]
 //	         [-m 512] [-trials 20] [-buckets 100] [-seed 1] [-lim 5]
 //
 // The default scale divides the paper's 10–80 M-tuple relations by 100,
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which experiment to run: all, e1..e12, or a comma list")
+		exp     = flag.String("experiment", "all", "which experiment to run: all, e1..e12, e12f, or a comma list")
 		nodes   = flag.Int("nodes", 0, "overlay size N (default 1024)")
 		scale   = flag.Int("scale", 0, "relation scale divisor (default 100; 10 = paper-faithful alpha, 1 = full paper scale)")
 		m       = flag.Int("m", 0, "default bitmap vectors (default 512)")
@@ -155,6 +155,14 @@ func main() {
 			r.Render(os.Stdout)
 			return nil
 		}},
+		{"e12f", "fault injection: graceful degradation under loss and down-windows", func() error {
+			r, err := experiments.RunE12F(p, nil)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
 	}
 
 	ran := 0
@@ -172,7 +180,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use all or e1..e12\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use all, e1..e12, or e12f\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"dhsketch/internal/chord"
 	"dhsketch/internal/core"
 	"dhsketch/internal/dht"
+	"dhsketch/internal/faultdht"
 	"dhsketch/internal/histogram"
 	"dhsketch/internal/optimizer"
 	"dhsketch/internal/sim"
@@ -58,12 +59,38 @@ type (
 	CountCost = core.CountCost
 	// InsertCost itemizes an insertion's network cost.
 	InsertCost = core.InsertCost
+	// Quality annotates an Estimate with how much of the counting walk
+	// failed or was skipped under the failure model.
+	Quality = core.Quality
 	// Node is an overlay node handle.
 	Node = dht.Node
 	// Overlay is the DHT abstraction DHS runs over.
 	Overlay = dht.Overlay
 	// Traffic is the global bytes/hops/messages meter.
 	Traffic = sim.Traffic
+	// FaultConfig parameterizes the fault-injection layer: message loss,
+	// transient down-windows, and slow-node timeouts.
+	FaultConfig = faultdht.Config
+	// FaultStats counts the faults the injection layer has delivered.
+	FaultStats = faultdht.Stats
+	// FaultOverlay is a fault-injecting wrapper around an Overlay.
+	FaultOverlay = faultdht.Overlay
+)
+
+// Typed errors DHS operations return or wrap. Counting degrades
+// gracefully — remote faults reduce Estimate.Quality rather than
+// surfacing here — so these appear mainly from insertions with retries
+// disabled (Config.InsertRetries < 0) and from dead or unreachable
+// query origins.
+var (
+	// ErrNodeDown reports an operation on or through a failed node.
+	ErrNodeDown = dht.ErrNodeDown
+	// ErrTimeout reports an exchange with a slow node that timed out.
+	ErrTimeout = dht.ErrTimeout
+	// ErrLost reports a message the network dropped.
+	ErrLost = dht.ErrLost
+	// ErrNoRoute reports that no live node could originate the operation.
+	ErrNoRoute = dht.ErrNoRoute
 )
 
 // Estimator kinds.
@@ -108,6 +135,10 @@ type Network struct {
 	Env *sim.Env
 	// Ring is the Chord-like overlay.
 	Ring *chord.Ring
+
+	// faults, when set by InjectFaults, wraps Ring for every DHS created
+	// afterwards.
+	faults *faultdht.Overlay
 }
 
 // NewNetwork creates an n-node simulated overlay seeded deterministically.
@@ -131,6 +162,25 @@ func (n *Network) TrafficTotal() Traffic { return n.Env.Traffic }
 // FailNodes crashes k random nodes (their soft state is lost).
 func (n *Network) FailNodes(k int) { n.Ring.FailRandom(k) }
 
+// InjectFaults interposes a deterministic fault-injection layer between
+// the overlay and every DHS created afterwards: messages drop with
+// cfg.DropProb, a cfg.TransientFrac fraction of nodes cycle through
+// clock-driven down-windows, and slow nodes time out. Returns the layer
+// for its Stats. Call before New/NewPCSA/NewWithKind — handles created
+// earlier keep talking to the pristine ring.
+func (n *Network) InjectFaults(cfg FaultConfig) *FaultOverlay {
+	n.faults = faultdht.New(n.Ring, n.Env, cfg)
+	return n.faults
+}
+
+// overlay returns the ring, behind the fault layer if one is installed.
+func (n *Network) overlay() Overlay {
+	if n.faults != nil {
+		return n.faults
+	}
+	return n.Ring
+}
+
 // New creates a super-LogLog DHS (the paper's DHS-sLL, its strongest
 // configuration) over the network. Zero fields of cfg take the paper's
 // §5.1 defaults; cfg.Overlay, cfg.Env, and cfg.Kind are filled in. Use
@@ -142,15 +192,12 @@ func New(net *Network, cfg Config) (*DHS, error) {
 // NewPCSA creates a DHS using the PCSA estimator (DHS-PCSA in the
 // paper's terminology).
 func NewPCSA(net *Network, cfg Config) (*DHS, error) {
-	cfg.Overlay = net.Ring
-	cfg.Env = net.Env
-	cfg.Kind = sketch.KindPCSA
-	return core.New(cfg)
+	return NewWithKind(net, cfg, sketch.KindPCSA)
 }
 
 // NewWithKind creates a DHS with an explicit estimator family.
 func NewWithKind(net *Network, cfg Config, kind sketch.Kind) (*DHS, error) {
-	cfg.Overlay = net.Ring
+	cfg.Overlay = net.overlay()
 	cfg.Env = net.Env
 	cfg.Kind = kind
 	return core.New(cfg)

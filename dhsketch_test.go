@@ -142,3 +142,55 @@ func TestPublicAPIRetryLimit(t *testing.T) {
 		t.Errorf("RetryLimit = %d, want the paper's ≤ 5 at alpha=1", got)
 	}
 }
+
+func TestPublicAPIFaultInjection(t *testing.T) {
+	net := dhsketch.NewNetwork(23, 128)
+	fo := net.InjectFaults(dhsketch.FaultConfig{DropProb: 0.15, TransientFrac: 0.1})
+	d, err := dhsketch.New(net, dhsketch.Config{M: 16, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metric := dhsketch.MetricID("faulty")
+	failed := 0
+	for i := 0; i < 8000; i++ {
+		if _, err := d.Insert(metric, dhsketch.ItemID(fmt.Sprintf("f-%d", i))); err != nil {
+			failed++
+		}
+	}
+	if float64(failed)/8000 > 0.05 {
+		t.Errorf("%d/8000 inserts failed despite retries", failed)
+	}
+	est, err := d.Count(metric)
+	if err != nil {
+		t.Fatalf("count errored under injected faults: %v", err)
+	}
+	if !est.Quality.Degraded || est.Quality.ProbesFailed == 0 {
+		t.Errorf("quality not annotated: %+v", est.Quality)
+	}
+	if math.Abs(est.Value-8000)/8000 > 0.6 {
+		t.Errorf("estimate %v far from 8000", est.Value)
+	}
+	st := fo.Stats()
+	if st.Lost == 0 || st.Failed() == 0 {
+		t.Errorf("fault layer stats empty: %+v", st)
+	}
+	// A network without injected faults stays pristine: no errors, no
+	// degradation marks.
+	clean := dhsketch.NewNetwork(23, 128)
+	dClean, err := dhsketch.New(clean, dhsketch.Config{M: 16, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := dClean.Insert(metric, dhsketch.ItemID(fmt.Sprintf("c-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cleanEst, err := dClean.Count(metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanEst.Quality.Degraded {
+		t.Errorf("clean network marked degraded: %+v", cleanEst.Quality)
+	}
+}

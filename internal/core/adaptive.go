@@ -27,22 +27,23 @@ func (d *DHS) CountAdaptive(metric uint64, p float64) (Estimate, error) {
 // estimate cannot turn counting into a network flood.
 const AdaptiveLimCap = 8
 
-// CountAdaptiveFrom is CountAdaptive with an explicit querying node.
-func (d *DHS) CountAdaptiveFrom(src dht.Node, metric uint64, p float64) (Estimate, error) {
-	first, err := d.CountFrom(src, metric)
-	if err != nil {
-		return Estimate{}, err
-	}
-	nHat := first.Value
+// Eq6LimSchedule returns a per-bit probe-budget schedule evaluating the
+// paper's eq. 6 at each bit interval's true geometry for an expected
+// cardinality of expectedItems and per-interval success probability p,
+// clamped to [Lim, AdaptiveLimCap·Lim]. Install it via Config.LimSchedule
+// or SetLimSchedule to count with the analytic budget instead of the
+// constant Lim; CountAdaptive builds the same schedule from its
+// first-pass estimate.
+func (d *DHS) Eq6LimSchedule(expectedItems float64, p float64) func(bit int) int {
+	nHat := expectedItems
 	if nHat < 1 {
 		nHat = 1
 	}
-	nodes := float64(d.overlay.Size())
-
-	limFor := func(bit int) int {
+	return func(bit int) int {
 		// With ShiftBits = b, bit i sits in interval I_{i−b}, whose node
 		// count is 2^b larger while its item count is unchanged — eq. 6
 		// evaluated at the interval's true geometry.
+		nodes := float64(d.overlay.Size())
 		intervalNodes := nodes * math.Exp2(-float64(bit-int(d.cfg.ShiftBits))-1)
 		intervalItems := nHat * math.Exp2(-float64(bit)-1)
 		lim := RetryLimit(intervalNodes, intervalItems, p, d.cfg.M, d.cfg.Replication)
@@ -54,18 +55,35 @@ func (d *DHS) CountAdaptiveFrom(src dht.Node, metric uint64, p float64) (Estimat
 		}
 		return lim
 	}
+}
 
-	states := []*metricState{newMetricState(metric, d.cfg.M)}
-	var cost CountCost
-	if d.cfg.Kind == sketch.KindPCSA {
-		cost, err = d.scanAscending(src, states, limFor)
-	} else {
-		cost, err = d.scanDescending(src, states, limFor)
-	}
+// SetLimSchedule installs (or clears, with nil) the per-bit probe-budget
+// schedule used by this handle's subsequent counting passes in place of
+// the constant Lim. The handle is client-side state, so the schedule
+// affects only counts issued through it.
+func (d *DHS) SetLimSchedule(s func(bit int) int) { d.cfg.LimSchedule = s }
+
+// CountAdaptiveFrom is CountAdaptive with an explicit querying node.
+func (d *DHS) CountAdaptiveFrom(src dht.Node, metric uint64, p float64) (Estimate, error) {
+	first, err := d.CountFrom(src, metric)
 	if err != nil {
 		return Estimate{}, err
 	}
+	limFor := d.Eq6LimSchedule(first.Value, p)
+
+	states := []*metricState{newMetricState(metric, d.cfg.M)}
+	var cost CountCost
+	var q scanQuality
+	if d.cfg.Kind == sketch.KindPCSA {
+		cost, q = d.scanAscending(src, states, limFor)
+	} else {
+		cost, q = d.scanDescending(src, states, limFor)
+	}
 	cost.add(first.Cost)
 	R := states[0].finalR(d, d.cfg.Kind)
-	return Estimate{Value: d.estimateFromR(R), R: R, Cost: cost}, nil
+	quality := q.forMetric(states[0])
+	quality.ProbesAttempted += first.Quality.ProbesAttempted
+	quality.ProbesFailed += first.Quality.ProbesFailed
+	quality.Degraded = quality.Degraded || first.Quality.Degraded
+	return Estimate{Value: d.estimateFromR(R), R: R, Cost: cost, Quality: quality}, nil
 }

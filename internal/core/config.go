@@ -34,6 +34,9 @@ const (
 	// DefaultLim is the per-interval probe bound ("the value of the lim
 	// parameter was set to its default of 5 hops maximum").
 	DefaultLim = 5
+	// DefaultInsertRetries is how many extra attempts an insertion makes
+	// when a lookup or store exchange fails before giving up.
+	DefaultInsertRetries = 3
 )
 
 // Wire-size model, following §5.1: the DHS tuple packs metric_id,
@@ -69,8 +72,24 @@ type Config struct {
 	Kind sketch.Kind
 
 	// Lim bounds the probe retries per ID-space interval during counting.
-	// 0 means DefaultLim.
+	// 0 means DefaultLim. Under the failure model the budget bounds
+	// work, not successes: a failed lookup/probe/successor step consumes
+	// one unit of it.
 	Lim int
+
+	// LimSchedule optionally derives the per-interval probe budget from
+	// the bit position instead of using the constant Lim — typically the
+	// eq. 6 schedule from RetryLimitForInterval or (*DHS).Eq6LimSchedule,
+	// which gives the least significant bits' larger intervals the larger
+	// budgets they need (§4.1). nil means the constant Lim everywhere.
+	LimSchedule func(bit int) int
+
+	// InsertRetries bounds the extra attempts an insertion makes when
+	// its lookup or store exchange fails: each retry re-draws a fresh
+	// random target in the bit's interval (sidestepping the failed node)
+	// after a bounded linear backoff on the virtual clock. 0 means
+	// DefaultInsertRetries; negative disables retries (fail fast).
+	InsertRetries int
 
 	// TTL is the soft-state lifetime of stored tuples in clock ticks;
 	// tuples older than TTL since their last refresh are ignored and
@@ -122,6 +141,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Lim == 0 {
 		c.Lim = DefaultLim
+	}
+	if c.InsertRetries == 0 {
+		c.InsertRetries = DefaultInsertRetries
 	}
 	return c
 }

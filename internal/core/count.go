@@ -36,28 +36,42 @@ func (d *DHS) CountFrom(src dht.Node, metric uint64) (Estimate, error) {
 // The pass cost is indivisible across metrics — that is the point of
 // multi-dimensional counting — so every returned Estimate carries the
 // same Cost: the total cost of the whole pass, not a per-metric share.
+//
+// The pass never aborts on a dead or unreachable node: a failed lookup,
+// probe, or retry step consumes probe budget and the walk continues at a
+// fresh random target. What was lost is reported in each Estimate's
+// Quality.
 func (d *DHS) CountAllFrom(src dht.Node, metrics []uint64) ([]Estimate, error) {
+	if src == nil {
+		return nil, dht.ErrNoRoute
+	}
+	if !src.Alive() {
+		// A fail-stop-dead originator cannot issue anything; only remote
+		// and transient failures degrade gracefully.
+		return nil, dht.ErrNodeDown
+	}
 	states := make([]*metricState, len(metrics))
 	for i, metric := range metrics {
 		states[i] = newMetricState(metric, d.cfg.M)
 	}
 
 	var cost CountCost
-	var err error
-	constLim := func(int) int { return d.cfg.Lim }
+	var q scanQuality
+	limFor := d.limSchedule()
 	if d.cfg.Kind == sketch.KindPCSA {
-		cost, err = d.scanAscending(src, states, constLim)
+		cost, q = d.scanAscending(src, states, limFor)
 	} else {
-		cost, err = d.scanDescending(src, states, constLim)
-	}
-	if err != nil {
-		return nil, err
+		cost, q = d.scanDescending(src, states, limFor)
 	}
 
 	ests := make([]Estimate, len(states))
 	for i, st := range states {
 		R := st.finalR(d, d.cfg.Kind)
-		ests[i] = Estimate{Value: d.estimateFromR(R), R: R}
+		ests[i] = Estimate{
+			Value:   d.estimateFromR(R),
+			R:       R,
+			Quality: q.forMetric(st),
+		}
 	}
 	// The pass cost is indivisible across metrics (that is the point of
 	// multi-dimensional counting); report it on every estimate.
@@ -65,6 +79,23 @@ func (d *DHS) CountAllFrom(src dht.Node, metrics []uint64) ([]Estimate, error) {
 		ests[i].Cost = cost
 	}
 	return ests, nil
+}
+
+// limSchedule returns the per-bit probe-budget function for a counting
+// pass: the configured LimSchedule if one is set, the constant Lim
+// otherwise. Schedule values below 1 are clamped — every interval gets at
+// least one probe.
+func (d *DHS) limSchedule() func(bit int) int {
+	if d.cfg.LimSchedule == nil {
+		return func(int) int { return d.cfg.Lim }
+	}
+	sched := d.cfg.LimSchedule
+	return func(bit int) int {
+		if lim := sched(bit); lim >= 1 {
+			return lim
+		}
+		return 1
+	}
 }
 
 // metricState tracks the per-vector resolution of one metric during a
@@ -109,11 +140,41 @@ func (st *metricState) finalR(d *DHS, kind sketch.Kind) []int {
 	return out
 }
 
+// scanQuality aggregates the failure accounting of one counting pass.
+type scanQuality struct {
+	attempted int // probe budget spent, incl. failed steps
+	failed    int // steps lost to drops, timeouts, or down nodes
+	skipped   int // intervals where no node could be probed at all
+}
+
+func (q *scanQuality) add(out intervalOutcome) {
+	q.attempted += out.attempted
+	q.failed += out.failed
+	if out.visited == 0 {
+		q.skipped++
+	}
+}
+
+// forMetric combines the pass-wide failure accounting with one metric's
+// resolution state into its Estimate's Quality.
+func (q scanQuality) forMetric(st *metricState) Quality {
+	return Quality{
+		ProbesAttempted:   q.attempted,
+		ProbesFailed:      q.failed,
+		IntervalsSkipped:  q.skipped,
+		VectorsUnresolved: st.unresolved,
+		Degraded:          q.failed > 0 || q.skipped > 0,
+	}
+}
+
 // scanDescending implements Algorithm 1 for the LogLog family: visit the
 // bit intervals from the most significant usable position downward; the
-// first set bit seen for a vector is its maximum, R[j].
-func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bit int) int) (CountCost, error) {
+// first set bit seen for a vector is its maximum, R[j]. A skipped
+// interval (all probes failed) can only lose maxima, never invent them,
+// so no special handling is needed beyond recording it.
+func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bit int) int) (CountCost, scanQuality) {
 	var cost CountCost
+	var q scanQuality
 	start := int(d.cfg.K) - 1 // Algorithm 1 scans the full bitmap length
 	if d.cfg.TrimmedScan || int(d.maxBit) > start {
 		start = int(d.maxBit)
@@ -122,7 +183,7 @@ func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bi
 		if totalUnresolved(states) == 0 {
 			break
 		}
-		c, err := d.probeIntervalLim(src, uint(bit), limFor(bit), states, func(n dht.Node) bool {
+		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, func(n dht.Node) bool {
 			now := d.env.Clock.Now()
 			for _, st := range states {
 				if st.unresolved == 0 {
@@ -142,11 +203,9 @@ func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bi
 			return totalUnresolved(states) == 0
 		})
 		cost.add(c)
-		if err != nil {
-			return cost, err
-		}
+		q.add(out)
 	}
-	return cost, nil
+	return cost, q
 }
 
 // scanAscending implements the PCSA variant: visit intervals from the
@@ -155,8 +214,9 @@ func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bi
 // leftmost zero). Unlike the descending scan, declaring a zero requires
 // exhausting the probe budget, which is why DHS-PCSA degrades faster than
 // DHS-sLL when intervals get sparse (§5.2, "Accuracy").
-func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit int) int) (CountCost, error) {
+func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit int) int) (CountCost, scanQuality) {
 	var cost CountCost
+	var q scanQuality
 	for bit := int(d.cfg.ShiftBits); bit <= int(d.maxBit); bit++ {
 		if totalUnresolved(states) == 0 {
 			break
@@ -164,7 +224,7 @@ func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit
 		for _, st := range states {
 			clearBools(st.foundHere)
 		}
-		c, err := d.probeIntervalLim(src, uint(bit), limFor(bit), states, func(n dht.Node) bool {
+		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, func(n dht.Node) bool {
 			now := d.env.Clock.Now()
 			allFound := true
 			for _, st := range states {
@@ -190,8 +250,13 @@ func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit
 			return allFound
 		})
 		cost.add(c)
-		if err != nil {
-			return cost, err
+		q.add(out)
+		if out.visited == 0 {
+			// No node of this interval answered: the pass has zero
+			// evidence at this position. Declaring leftmost zeros from
+			// no evidence would collapse the estimate, so the position
+			// is skipped and vectors stay open for later bits.
+			continue
 		}
 		// Vectors with no set bit found at this position have their
 		// leftmost zero here.
@@ -208,7 +273,7 @@ func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit
 			}
 		}
 	}
-	return cost, nil
+	return cost, q
 }
 
 func totalUnresolved(states []*metricState) int {
@@ -225,23 +290,37 @@ func clearBools(b []bool) {
 	}
 }
 
+// inIntervalRange reports whether id lies in [lo, lo+size) on the 2^64
+// ring. The unsigned subtraction handles intervals whose upper end wraps
+// past zero (the top interval's lo+size is exactly 2^64).
+func inIntervalRange(id, lo, size uint64) bool {
+	return id-lo < size
+}
+
+// intervalOutcome reports what one interval's probe walk achieved.
+type intervalOutcome struct {
+	attempted int // probe budget spent, incl. failed steps
+	failed    int // steps lost to drops, timeouts, or down nodes
+	visited   int // nodes successfully probed
+}
+
 // probeIntervalLim performs the probe-and-retry walk of Algorithm 1 on
 // one bit's ID-space interval: route to a uniformly random identifier in
 // the interval, probe its owner, then retry — blindly along successors
 // in the default mode, boundary-aware in EdgeAware mode — up to lim
-// probed nodes. visit is called once per probed node and returns true
+// spent probes. visit is called once per probed node and returns true
 // when the counting pass is fully resolved.
-func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metricState, visit func(dht.Node) bool) (CountCost, error) {
+//
+// Failure awareness: a failed lookup, probe, or successor/predecessor
+// step consumes one unit of the probe budget (lim bounds work, not
+// successes) and the walk re-enters the interval at a fresh random
+// target instead of aborting — a dead node costs a probe, never the
+// pass. Traffic spent before a failure is metered as dropped.
+func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metricState, visit func(dht.Node) bool) (CountCost, intervalOutcome) {
 	lo, size := d.intervalForBit(bit)
-	inInterval := func(id uint64) bool { return id-lo < size }
 
-	target := sim.UniformIn(d.rng, lo, size)
-	home, hops, err := d.overlay.LookupFrom(src, target)
-	if err != nil {
-		return CountCost{}, err
-	}
 	var cost CountCost
-	cost.Lookups++
+	var out intervalOutcome
 
 	respBytes := func() int {
 		b := MsgHeaderBytes
@@ -255,16 +334,37 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 
 	probe := func(n dht.Node, h int) bool {
 		n.Counters().Probed++
+		out.visited++
 		cost.NodesVisited++
 		cost.Hops += int64(h)
-		bytes := int64(h) * int64(ProbeReqBytes+respBytes())
-		cost.Bytes += bytes
+		cost.Bytes += int64(h) * int64(ProbeReqBytes+respBytes())
 		d.env.Traffic.Account(h, ProbeReqBytes+respBytes())
 		return visit(n)
 	}
 
-	if probe(home, hops) {
-		return cost, nil
+	// fail records a failed step: the budget is spent and the traffic
+	// the request consumed before failing is metered as dropped.
+	fail := func(hops int) {
+		out.failed++
+		if hops > 0 {
+			cost.Hops += int64(hops)
+			cost.Bytes += int64(hops) * int64(ProbeReqBytes)
+			d.env.Traffic.Drop(hops, ProbeReqBytes)
+		}
+	}
+
+	// enter routes to a fresh uniform target in the interval; it costs
+	// one budget unit whether or not it succeeds.
+	enter := func() (dht.Node, int, bool) {
+		target := sim.UniformIn(d.rng, lo, size)
+		n, hops, err := d.overlay.LookupFrom(src, target)
+		cost.Lookups++
+		out.attempted++
+		if err != nil {
+			fail(hops)
+			return nil, 0, false
+		}
+		return n, hops, true
 	}
 
 	if !d.cfg.EdgeAware {
@@ -273,44 +373,79 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 		// unreachable — its guard tests the original target ID, which by
 		// construction always lies inside the interval). Successor
 		// retries also discover replicas stored past the home node.
-		cur := home
-		for probes := 1; probes < lim; probes++ {
+		var home, cur dht.Node
+		for out.attempted < lim {
+			if cur == nil {
+				// (Re-)enter the interval at a fresh random target.
+				n, hops, ok := enter()
+				if !ok {
+					continue
+				}
+				cur = n
+				if home == nil {
+					home = n
+				}
+				if probe(cur, hops) {
+					return cost, out
+				}
+				continue
+			}
 			next, err := d.overlay.Successor(cur)
+			out.attempted++
 			if err != nil {
-				return cost, err
+				fail(1)
+				cur = nil // the walk lost its footing; re-enter afresh
+				continue
 			}
 			if next == home {
-				return cost, nil // wrapped all the way around a tiny ring
+				return cost, out // wrapped all the way around a tiny ring
 			}
 			cur = next
 			if probe(cur, 1) {
-				return cost, nil
+				return cost, out
 			}
 		}
-		return cost, nil
+		return cost, out
 	}
 
 	// Edge-aware variant (an ablation beyond the paper): exploit the
 	// globally known interval boundaries to skip probes that cannot
 	// succeed.
-	//
+	var home dht.Node
+	for home == nil {
+		if out.attempted >= lim {
+			return cost, out
+		}
+		n, hops, ok := enter()
+		if !ok {
+			continue
+		}
+		home = n
+		if probe(home, hops) {
+			return cost, out
+		}
+	}
+
 	// Successor phase: continue while the just-probed node sat inside
 	// the interval — its successor may own further interval keys (a node
-	// just past the interval's top owns the trailing gap).
+	// just past the interval's top owns the trailing gap). A failed step
+	// spends a probe and ends the phase: boundary knowledge is useless
+	// once the walk's position is unknown.
 	cur := home
-	probes := 1
-	for probes < lim && inInterval(cur.ID()) {
+	for out.attempted < lim && inIntervalRange(cur.ID(), lo, size) {
 		next, err := d.overlay.Successor(cur)
 		if err != nil {
-			return cost, err
+			out.attempted++
+			fail(1)
+			break
 		}
 		if next == home {
-			return cost, nil // wrapped all the way around a tiny ring
+			return cost, out // wrapped all the way around a tiny ring
 		}
 		cur = next
-		probes++
+		out.attempted++
 		if probe(cur, 1) {
-			return cost, nil
+			return cost, out
 		}
 	}
 
@@ -318,19 +453,21 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 	// predecessors still lie inside the interval (nodes below it own no
 	// interval keys).
 	back := home
-	for probes < lim {
+	for out.attempted < lim {
 		prev, err := d.overlay.Predecessor(back)
 		if err != nil {
-			return cost, err
+			out.attempted++
+			fail(1)
+			break
 		}
-		if prev == home || !inInterval(prev.ID()) {
+		if prev == home || !inIntervalRange(prev.ID(), lo, size) {
 			break
 		}
 		back = prev
-		probes++
+		out.attempted++
 		if probe(back, 1) {
-			return cost, nil
+			return cost, out
 		}
 	}
-	return cost, nil
+	return cost, out
 }

@@ -111,6 +111,37 @@ type Estimate struct {
 	R []int
 	// Cost aggregates the network cost of the operation.
 	Cost CountCost
+	// Quality reports how cleanly the counting pass executed under the
+	// failure model; a zero ProbesFailed/IntervalsSkipped Quality means
+	// the pass saw a perfect network.
+	Quality Quality
+}
+
+// Quality annotates an estimate with how much the counting pass lost to
+// failures, so a caller can judge a degraded estimate instead of
+// receiving an error and nothing else (in the spirit of estimators that
+// stay usable on degraded register state). Counting never aborts on a
+// dead or unreachable node — the failed step consumes probe budget and
+// the walk re-enters the interval at a fresh random target.
+type Quality struct {
+	// ProbesAttempted is the probe budget spent across all intervals of
+	// the pass, successful probes and failed steps alike.
+	ProbesAttempted int
+	// ProbesFailed counts steps lost to drops, timeouts, or down nodes
+	// (lookup, probe, or successor/predecessor hops).
+	ProbesFailed int
+	// IntervalsSkipped counts bit intervals where not a single node
+	// could be probed: the pass has no evidence at all for those bit
+	// positions.
+	IntervalsSkipped int
+	// VectorsUnresolved is the number of this metric's vectors that
+	// ended the scan without a statistic. For the LogLog family a
+	// never-observed vector is an ordinary empty bucket; it only
+	// signals degradation in combination with failed probes.
+	VectorsUnresolved int
+	// Degraded is true when any failure affected the pass — the
+	// estimate is still usable but was computed from partial evidence.
+	Degraded bool
 }
 
 // CountCost itemizes what a counting operation consumed.

@@ -11,12 +11,20 @@ type InsertCost struct {
 	Lookups int
 	Hops    int64
 	Bytes   int64
+	// Retries counts failed attempts that were retried with a fresh
+	// random target (failure model only; always 0 on a clean network).
+	Retries int
+	// ReplicasLost counts successor replicas that could not be placed
+	// because the replication walk hit a failed exchange.
+	ReplicasLost int
 }
 
 func (c *InsertCost) add(other InsertCost) {
 	c.Lookups += other.Lookups
 	c.Hops += other.Hops
 	c.Bytes += other.Bytes
+	c.Retries += other.Retries
+	c.ReplicasLost += other.ReplicasLost
 }
 
 // Insert records one item under the metric, originating at a random
@@ -34,6 +42,12 @@ func (d *DHS) Insert(metric uint64, itemID uint64) (InsertCost, error) {
 // node that holds the item. One DHT lookup routes the 8-byte tuple to a
 // node drawn uniformly from the bit's ID-space interval; with replication
 // R the tuple is then copied to R successors at one extra hop each.
+//
+// Under the failure model a failed lookup or store exchange is retried
+// up to InsertRetries times, each retry re-drawing a fresh random target
+// in the same interval (the uniform placement invariant is preserved and
+// the new draw sidesteps the failed node) after a bounded linear backoff
+// on the virtual clock, so transient down-windows can pass.
 func (d *DHS) InsertFrom(src dht.Node, metric uint64, itemID uint64) (InsertCost, error) {
 	vector, bit := d.split(itemID)
 	if !d.storable(bit) {
@@ -44,30 +58,73 @@ func (d *DHS) InsertFrom(src dht.Node, metric uint64, itemID uint64) (InsertCost
 	return d.storeBit(src, TupleKey{Metric: metric, Vector: vector, Bit: uint8(bit)})
 }
 
-// storeBit routes one tuple to a random node in its bit's interval and
-// replicates it.
-func (d *DHS) storeBit(src dht.Node, key TupleKey) (InsertCost, error) {
-	target := d.randomIDInIntervalFor(uint(key.Bit))
-	home, hops, err := d.overlay.LookupFrom(src, target)
-	if err != nil {
-		return InsertCost{}, fmt.Errorf("core: insert lookup: %w", err)
+// insertRetries returns the configured retry bound, with negative values
+// meaning fail-fast.
+func (d *DHS) insertRetries() int {
+	if d.cfg.InsertRetries < 0 {
+		return 0
 	}
-	cost := InsertCost{Lookups: 1, Hops: int64(hops), Bytes: int64(hops) * (TupleBytes + MsgHeaderBytes)}
-	d.env.Traffic.Account(hops, TupleBytes+MsgHeaderBytes)
+	return d.cfg.InsertRetries
+}
 
-	expiry := expiryFor(d.env.Clock.Now(), d.cfg.TTL)
-	storeOf(home).Set(key, expiry)
-	home.Counters().StoreOps++
+// storeBit routes one tuple to a random node in its bit's interval and
+// replicates it, retrying failed attempts at fresh random targets.
+func (d *DHS) storeBit(src dht.Node, key TupleKey) (InsertCost, error) {
+	var cost InsertCost
+	retries := d.insertRetries()
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			// Bounded linear backoff before the retry: virtual time
+			// passes, so a node's transient down-window can end before
+			// the re-drawn target is contacted.
+			d.env.Clock.Advance(int64(attempt))
+			cost.Retries++
+		}
+		target := d.randomIDInIntervalFor(uint(key.Bit))
+		home, hops, err := d.overlay.LookupFrom(src, target)
+		if err != nil {
+			lastErr = err
+			if hops > 0 {
+				// The request consumed the route before failing.
+				cost.Hops += int64(hops)
+				cost.Bytes += int64(hops) * (TupleBytes + MsgHeaderBytes)
+				d.env.Traffic.Drop(hops, TupleBytes+MsgHeaderBytes)
+			}
+			continue
+		}
+		cost.Lookups++
+		cost.Hops += int64(hops)
+		cost.Bytes += int64(hops) * (TupleBytes + MsgHeaderBytes)
+		d.env.Traffic.Account(hops, TupleBytes+MsgHeaderBytes)
 
-	// Replication to R successors (§3.5): one extra hop per replica.
+		expiry := expiryFor(d.env.Clock.Now(), d.cfg.TTL)
+		storeOf(home).Set(key, expiry)
+		home.Counters().StoreOps++
+
+		d.replicate(home, key, expiry, &cost)
+		return cost, nil
+	}
+	return cost, fmt.Errorf("core: insert lookup after %d attempts: %w", retries+1, lastErr)
+}
+
+// replicate copies the tuple to the configured number of successors
+// (§3.5), one extra hop per replica. Replication is best-effort under
+// failures: a failed successor exchange ends the walk — the tuple is
+// already durable at its home node — and the shortfall is recorded.
+func (d *DHS) replicate(home dht.Node, key TupleKey, expiry int64, cost *InsertCost) {
 	cur := home
 	for i := 0; i < d.cfg.Replication; i++ {
 		next, err := d.overlay.Successor(cur)
 		if err != nil {
-			return cost, fmt.Errorf("core: replication walk: %w", err)
+			cost.ReplicasLost += d.cfg.Replication - i
+			cost.Hops++
+			cost.Bytes += TupleBytes + MsgHeaderBytes
+			d.env.Traffic.Drop(1, TupleBytes+MsgHeaderBytes)
+			return
 		}
 		if next == home {
-			break // ring smaller than the replication degree
+			return // ring smaller than the replication degree
 		}
 		storeOf(next).Set(key, expiry)
 		next.Counters().StoreOps++
@@ -76,13 +133,16 @@ func (d *DHS) storeBit(src dht.Node, key TupleKey) (InsertCost, error) {
 		d.env.Traffic.Account(1, TupleBytes+MsgHeaderBytes)
 		cur = next
 	}
-	return cost, nil
 }
 
 // BulkInsertFrom records many items under the metric with the paper's
 // bulk optimization: the items' (vector, bit) pairs are grouped by bit
 // position, and each group travels in one message to one random node in
 // that bit's interval — at most k lookups regardless of item count.
+// Failed group sends are retried at fresh random targets like single
+// insertions; a group whose retries are exhausted aborts the batch with
+// an error (the caller re-issues the batch — unlike counting, insertion
+// has nothing partial worth returning).
 //
 // Caveat (not discussed in the paper): bulk insertion concentrates each
 // bit's tuples on a single node per source per update round. The counting
@@ -110,7 +170,7 @@ func (d *DHS) BulkInsertFrom(src dht.Node, metric uint64, itemIDs []uint64) (Ins
 	}
 
 	var cost InsertCost
-	expiry := expiryFor(d.env.Clock.Now(), d.cfg.TTL)
+	retries := d.insertRetries()
 	// Iterate bit positions in fixed order: map iteration order would
 	// perturb the deterministic target-selection RNG across runs.
 	for b := uint(0); b <= d.maxBit; b++ {
@@ -119,17 +179,38 @@ func (d *DHS) BulkInsertFrom(src dht.Node, metric uint64, itemIDs []uint64) (Ins
 		if !ok {
 			continue
 		}
-		target := d.randomIDInIntervalFor(uint(bit))
-		home, hops, err := d.overlay.LookupFrom(src, target)
-		if err != nil {
-			return cost, fmt.Errorf("core: bulk insert lookup: %w", err)
-		}
 		msgBytes := MsgHeaderBytes + TupleBytes*len(vectors)
-		cost.Lookups++
-		cost.Hops += int64(hops)
-		cost.Bytes += int64(hops) * int64(msgBytes)
-		d.env.Traffic.Account(hops, msgBytes)
 
+		var home dht.Node
+		var lastErr error
+		for attempt := 0; attempt <= retries; attempt++ {
+			if attempt > 0 {
+				d.env.Clock.Advance(int64(attempt))
+				cost.Retries++
+			}
+			target := d.randomIDInIntervalFor(uint(bit))
+			n, hops, err := d.overlay.LookupFrom(src, target)
+			if err != nil {
+				lastErr = err
+				if hops > 0 {
+					cost.Hops += int64(hops)
+					cost.Bytes += int64(hops) * int64(msgBytes)
+					d.env.Traffic.Drop(hops, msgBytes)
+				}
+				continue
+			}
+			home = n
+			cost.Lookups++
+			cost.Hops += int64(hops)
+			cost.Bytes += int64(hops) * int64(msgBytes)
+			d.env.Traffic.Account(hops, msgBytes)
+			break
+		}
+		if home == nil {
+			return cost, fmt.Errorf("core: bulk insert lookup after %d attempts: %w", retries+1, lastErr)
+		}
+
+		expiry := expiryFor(d.env.Clock.Now(), d.cfg.TTL)
 		st := storeOf(home)
 		home.Counters().StoreOps++
 		for v := range vectors {
@@ -140,7 +221,11 @@ func (d *DHS) BulkInsertFrom(src dht.Node, metric uint64, itemIDs []uint64) (Ins
 		for i := 0; i < d.cfg.Replication; i++ {
 			next, err := d.overlay.Successor(cur)
 			if err != nil {
-				return cost, fmt.Errorf("core: bulk replication walk: %w", err)
+				cost.ReplicasLost += d.cfg.Replication - i
+				cost.Hops++
+				cost.Bytes += int64(msgBytes)
+				d.env.Traffic.Drop(1, msgBytes)
+				break
 			}
 			if next == home {
 				break

@@ -122,6 +122,69 @@ func TestRetryLimitForIntervalDecreasesWithBit(t *testing.T) {
 	}
 }
 
+func TestRetryLimitApproachingCertainty(t *testing.T) {
+	// As p → 1 the required budget climbs toward exhaustive search but
+	// can never exceed probing every node in the interval: lim ≤ ⌈N'⌉.
+	prev := 0
+	for _, p := range []float64{0.9, 0.99, 0.999, 0.999999, 1 - 1e-12} {
+		lim := RetryLimit(50, 25, p, 1, 0)
+		if lim < prev {
+			t.Errorf("lim not monotone approaching p=1: %d < %d at p=%v", lim, prev, p)
+		}
+		if lim > 50 {
+			t.Errorf("p=%v: lim=%d exceeds interval size 50", p, lim)
+		}
+		prev = lim
+	}
+	// Exactly p=1 with fractional node counts rounds the interval up:
+	// probing must cover every node that could exist.
+	if got := RetryLimit(10.4, 5, 1, 1, 0); got != 11 {
+		t.Errorf("p=1 with N'=10.4: lim=%d, want ceil = 11", got)
+	}
+	// replicas=0 must behave identically to unreplicated storage even at
+	// the p→1 extreme.
+	if RetryLimit(10.4, 5, 1, 1, 0) != RetryLimit(10.4, 5, 1, 1, 1) {
+		t.Error("R=0 and R=1 diverge at p=1")
+	}
+}
+
+func TestRetryLimitNeverExceedsIntervalSize(t *testing.T) {
+	// Eq. 6 is a probe count over distinct nodes, so it is meaningless
+	// beyond ⌈N'⌉ no matter how hostile the parameters.
+	for _, nodes := range []float64{1, 2.5, 7, 64, 1000} {
+		for _, items := range []float64{0.1, 1, 10, 1e6} {
+			for _, m := range []int{1, 16, 1024} {
+				lim := RetryLimit(nodes, items, 0.999999, m, 0)
+				if float64(lim) > math.Ceil(nodes) {
+					t.Errorf("N'=%v n'=%v m=%d: lim=%d > ceil(N')", nodes, items, m, lim)
+				}
+			}
+		}
+	}
+}
+
+func TestRetryLimitGrowsRelativeToShrinkingInterval(t *testing.T) {
+	// In the sparse regime (many vectors, few items per vector) halving
+	// the interval does not halve the needed budget: the *fraction* of
+	// the interval that must be probed grows as N' shrinks, until tiny
+	// intervals demand near-exhaustive search. This is the regime where a
+	// constant lim fails and the eq. 6 schedule earns its keep.
+	prevFrac := 0.0
+	for _, nodes := range []float64{1024, 256, 64, 16, 4} {
+		// α = 1/8 held fixed while the interval shrinks.
+		lim := RetryLimit(nodes, nodes/8, 0.99, 16, 0)
+		frac := float64(lim) / nodes
+		if frac < prevFrac {
+			t.Errorf("N'=%v: probe fraction %.3f fell below %.3f for a smaller interval",
+				nodes, frac, prevFrac)
+		}
+		prevFrac = frac
+	}
+	if prevFrac < 0.9 {
+		t.Errorf("tiniest sparse interval should need near-exhaustive probing, got fraction %.3f", prevFrac)
+	}
+}
+
 func TestEmptyProbeProbabilityAgainstSimulation(t *testing.T) {
 	// Validate eq. 5 empirically: throw n items into N bins, probe t
 	// distinct bins, and compare the miss rate with the formula.

@@ -16,6 +16,16 @@ var ErrNoRoute = errors.New("dht: no route to key")
 // ErrNodeDown is returned by operations addressed to a failed node.
 var ErrNodeDown = errors.New("dht: node is down")
 
+// ErrTimeout is returned when a message exchange exceeds the failure
+// model's timeout — typically a slow or overloaded node. The request may
+// or may not have been processed; DHS operations treat it like a lost
+// message and retry elsewhere.
+var ErrTimeout = errors.New("dht: operation timed out")
+
+// ErrLost is returned when a message (request or reply) is dropped in
+// transit by a lossy network.
+var ErrLost = errors.New("dht: message lost")
+
 // Counters records per-node load, used to verify the paper's constraint 3
 // (access and storage load balancing).
 type Counters struct {

@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"dhsketch/internal/sketch"
 )
 
 // tinyParams keeps experiment tests fast: a small overlay and heavily
@@ -337,6 +339,60 @@ func TestRunE11(t *testing.T) {
 	var buf bytes.Buffer
 	res.Render(&buf)
 	if !strings.Contains(buf.String(), "dup-insens") {
+		t.Error("render missing column")
+	}
+}
+
+func TestRunE12F(t *testing.T) {
+	p := tinyParams()
+	p.Trials = 4
+	scenarios := []E12FScenario{
+		DefaultE12FScenarios[0], // clean baseline
+		DefaultE12FScenarios[2], // loss 10% + down 10% — the acceptance regime
+	}
+	res, err := RunE12F(p, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*2*2 { // scenarios × kinds × R
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	cell := func(scenario string, kind sketch.Kind, r int) E12FRow {
+		for _, row := range res.Rows {
+			if row.Scenario == scenario && row.Kind == kind && row.R == r {
+				return row
+			}
+		}
+		t.Fatalf("missing cell %s/%v/R=%d", scenario, kind, r)
+		return E12FRow{}
+	}
+	faulty := scenarios[1].Name
+	for _, kind := range []sketch.Kind{sketch.KindSuperLogLog, sketch.KindPCSA} {
+		clean := cell("clean", kind, 3)
+		hurt := cell(faulty, kind, 3)
+		// The acceptance criterion: at R=3, the degraded error stays
+		// within 2× the clean baseline (plus slack for tiny-trial noise).
+		if hurt.Err > 2*clean.Err+0.05 {
+			t.Errorf("%v R=3: faulty err %.3f vs clean %.3f exceeds 2× degradation",
+				kind, hurt.Err, clean.Err)
+		}
+		if clean.DegradedFrac != 0 || clean.FailedProbes != 0 || clean.Lost != 0 {
+			t.Errorf("%v clean cell shows fault artifacts: %+v", kind, clean)
+		}
+		if hurt.DegradedFrac == 0 || hurt.FailedProbes == 0 || hurt.Lost == 0 {
+			t.Errorf("%v faulty cell shows no degradation evidence: %+v", kind, hurt)
+		}
+		if hurt.InsertRetries == 0 {
+			t.Errorf("%v faulty cell recorded no insert retries", kind)
+		}
+		// Retries keep the load phase nearly lossless at 10%/10%.
+		if float64(hurt.InsertFailed)/float64(res.Items) > 0.05 {
+			t.Errorf("%v: %d/%d inserts lost despite retries", kind, hurt.InsertFailed, res.Items)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "degraded %") {
 		t.Error("render missing column")
 	}
 }

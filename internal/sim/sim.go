@@ -33,9 +33,10 @@ func (c *Clock) Advance(d int64) {
 
 // Traffic accumulates the cost of network operations.
 type Traffic struct {
-	Messages int64 // number of point-to-point messages sent
+	Messages int64 // number of point-to-point messages delivered
 	Hops     int64 // overlay hops traversed (≥ Messages for routed sends)
 	Bytes    int64 // payload bytes transferred
+	Dropped  int64 // messages that consumed hops but never completed (lost, timed out, or addressed to a down node)
 }
 
 // Account records one logical transfer of size bytes over the given number
@@ -46,11 +47,22 @@ func (t *Traffic) Account(hops int, bytes int) {
 	t.Bytes += int64(bytes) * int64(hops)
 }
 
+// Drop records a failed message exchange: the request still traversed the
+// given hops carrying bytes of payload (the network did the work) but
+// nothing was delivered. Failed exchanges are metered separately from
+// Messages so experiments can report wasted versus useful traffic.
+func (t *Traffic) Drop(hops int, bytes int) {
+	t.Dropped++
+	t.Hops += int64(hops)
+	t.Bytes += int64(bytes) * int64(hops)
+}
+
 // Add folds another traffic record into this one.
 func (t *Traffic) Add(other Traffic) {
 	t.Messages += other.Messages
 	t.Hops += other.Hops
 	t.Bytes += other.Bytes
+	t.Dropped += other.Dropped
 }
 
 // Sub returns the difference t - other; used to measure the cost of a
@@ -60,12 +72,17 @@ func (t Traffic) Sub(other Traffic) Traffic {
 		Messages: t.Messages - other.Messages,
 		Hops:     t.Hops - other.Hops,
 		Bytes:    t.Bytes - other.Bytes,
+		Dropped:  t.Dropped - other.Dropped,
 	}
 }
 
 // String renders the record for logs and experiment tables.
 func (t Traffic) String() string {
-	return fmt.Sprintf("%d msgs / %d hops / %d bytes", t.Messages, t.Hops, t.Bytes)
+	s := fmt.Sprintf("%d msgs / %d hops / %d bytes", t.Messages, t.Hops, t.Bytes)
+	if t.Dropped > 0 {
+		s += fmt.Sprintf(" / %d dropped", t.Dropped)
+	}
+	return s
 }
 
 // Env bundles the shared simulation state: one clock, one master seed, and
