@@ -6,6 +6,12 @@
 //
 //	dhsbench [-experiment all|e1|...|e12|e12f] [-nodes 1024] [-scale 100]
 //	         [-m 512] [-trials 20] [-buckets 100] [-seed 1] [-lim 5]
+//	         [-workers N]
+//
+// Sweep-style experiments (e3, e4, e8, e12f) fan their independent cells
+// across -workers goroutines (default: one per CPU). Every cell builds
+// its own deterministic world from -seed, so the printed tables are
+// byte-for-byte identical at any worker count.
 //
 // The default scale divides the paper's 10–80 M-tuple relations by 100,
 // keeping a full run under a minute. For paper-faithful counting accuracy
@@ -34,6 +40,7 @@ func main() {
 		buckets = flag.Int("buckets", 0, "histogram buckets (default 100)")
 		seed    = flag.Uint64("seed", 0, "master PRNG seed (default 1)")
 		lim     = flag.Int("lim", 0, "probe retries per interval (default 5)")
+		workers = flag.Int("workers", 0, "parallel experiment cells (default: one per CPU); results are identical at any value")
 	)
 	flag.Parse()
 
@@ -45,6 +52,7 @@ func main() {
 		Lim:     *lim,
 		Buckets: *buckets,
 		Trials:  *trials,
+		Workers: *workers,
 	}
 
 	want := map[string]bool{}

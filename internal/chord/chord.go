@@ -14,6 +14,7 @@ import (
 	"math/bits"
 	"math/rand/v2"
 	"sort"
+	"sync"
 
 	"dhsketch/internal/dht"
 	"dhsketch/internal/md4"
@@ -47,11 +48,19 @@ func (n *Node) SetApp(state any) { n.app = state }
 // Counters returns the node's load counters.
 func (n *Node) Counters() *dht.Counters { return &n.counters }
 
-// Ring is a Chord-like overlay. It is not safe for concurrent use; the
-// simulation is single-threaded and deterministic.
+// Ring is a Chord-like overlay. The read-only routing surface (Lookup,
+// LookupFrom, Successor, Predecessor, Owner, Nodes) and RandomNode are
+// safe for concurrent use while the membership is stable; membership
+// changes (Join, Fail, Revive, Leave) must not run concurrently with
+// anything else — the simulation mutates the ring single-threaded and
+// fans out only the counting passes.
 type Ring struct {
 	env *sim.Env
-	rng *rand.Rand
+
+	// rngMu serializes draws from rng: RandomNode is on the concurrent
+	// counting surface (every Count picks a random origin).
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	// live is sorted by ID and contains only alive nodes; routing and
 	// ownership are resolved against it. all additionally retains failed
@@ -122,7 +131,10 @@ func (r *Ring) RandomNode() dht.Node {
 	if len(r.live) == 0 {
 		return nil
 	}
-	return r.live[r.rng.IntN(len(r.live))]
+	r.rngMu.Lock()
+	idx := r.rng.IntN(len(r.live))
+	r.rngMu.Unlock()
+	return r.live[idx]
 }
 
 // ownerIndex returns the index in live of the clockwise successor of key
@@ -186,7 +198,7 @@ func (r *Ring) LookupFrom(src dht.Node, key uint64) (dht.Node, int, error) {
 		}
 		cur = next
 		hops++
-		cur.counters.Routed++
+		cur.counters.AddRouted()
 	}
 	return owner, hops, nil
 }
@@ -304,7 +316,9 @@ func (r *Ring) FailRandom(k int) []dht.Node {
 	}
 	out := make([]dht.Node, 0, k)
 	for i := 0; i < k; i++ {
+		r.rngMu.Lock()
 		n := r.live[r.rng.IntN(len(r.live))]
+		r.rngMu.Unlock()
 		out = append(out, n)
 		r.Fail(n)
 	}

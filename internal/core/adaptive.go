@@ -74,10 +74,11 @@ func (d *DHS) CountAdaptiveFrom(src dht.Node, metric uint64, p float64) (Estimat
 	states := []*metricState{newMetricState(metric, d.cfg.M)}
 	var cost CountCost
 	var q scanQuality
+	rng := d.countRNG() // the second pass is its own counting pass
 	if d.cfg.Kind == sketch.KindPCSA {
-		cost, q = d.scanAscending(src, states, limFor)
+		cost, q = d.scanAscending(src, states, limFor, rng)
 	} else {
-		cost, q = d.scanDescending(src, states, limFor)
+		cost, q = d.scanDescending(src, states, limFor, rng)
 	}
 	cost.add(first.Cost)
 	R := states[0].finalR(d, d.cfg.Kind)

@@ -1,0 +1,137 @@
+package core
+
+// Concurrency contract tests: any number of counting passes may run
+// against one handle and one overlay at the same time (run with -race),
+// and sequential passes are bit-for-bit reproducible across identically
+// built worlds — the foundation the parallel experiment runner stands on.
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dhsketch/internal/faultdht"
+	"dhsketch/internal/sketch"
+)
+
+func TestConcurrentCountAllFromOneOverlay(t *testing.T) {
+	// Many goroutines count the same two metrics against one overlay.
+	// Under -race this exercises every shared surface of the counting
+	// path: per-node stores, traffic metering, load counters, and the
+	// per-pass RNG handoff.
+	const n = 30000
+	d, ring, _ := testDHS(t, 101, 128, Config{M: 64, Kind: sketch.KindSuperLogLog})
+	m1 := MetricID("conc-1")
+	m2 := MetricID("conc-2")
+	insertItems(t, d, m1, n, "c1")
+	insertItems(t, d, m2, n/2, "c2")
+
+	const goroutines = 8
+	const passes = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*passes)
+	values := make(chan [2]float64, goroutines*passes)
+	src := ring.Nodes()[0]
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := 0; p < passes; p++ {
+				ests, err := d.CountAllFrom(src, []uint64{m1, m2})
+				if err != nil {
+					errs <- err
+					return
+				}
+				values <- [2]float64{ests[0].Value, ests[1].Value}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(values)
+	for err := range errs {
+		t.Fatalf("concurrent CountAllFrom: %v", err)
+	}
+	limit := 5 * sketch.KindSuperLogLog.StdError(64)
+	for v := range values {
+		if e := math.Abs(v[0]-n) / n; e > limit {
+			t.Errorf("metric 1 error %.3f under concurrency", e)
+		}
+		if e := math.Abs(v[1]-n/2) / (n / 2); e > limit {
+			t.Errorf("metric 2 error %.3f under concurrency", e)
+		}
+	}
+}
+
+func TestConcurrentCountingUnderFaults(t *testing.T) {
+	// Same contract with the fault-injection layer in the stack: its drop
+	// stream and stats are shared mutable state across the passes.
+	d, fo, _ := faultyDHS(t, 103, 64,
+		faultdht.Config{DropProb: 0.1, TransientFrac: 0.2, SlowFrac: 0.2, SlowTimeoutProb: 0.5}, nil)
+	metric := MetricID("conc-faulty")
+	insertN(t, d, metric, 5000, "cf")
+
+	const goroutines = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := 0; p < 3; p++ {
+				if _, err := d.Count(metric); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Count under faults: %v", err)
+	}
+	if fo.Stats().Exchanges == 0 {
+		t.Error("fault layer saw no exchanges")
+	}
+}
+
+func TestCountingReproducibleAcrossIdenticalWorlds(t *testing.T) {
+	// Two worlds built from the same seed and workload must produce
+	// bit-for-bit identical estimate sequences: each pass's RNG stream is
+	// a pure function of (master seed, pass number), nothing else.
+	// Deliberately sparse (α ≈ 0.24): vectors resolve at low bit positions
+	// whose intervals hold many nodes, so the walk's random targets have
+	// real influence — making both halves of the test meaningful.
+	build := func() []Estimate {
+		d, ring, _ := testDHS(t, 107, 256, Config{M: 32, Kind: sketch.KindSuperLogLog})
+		metric := MetricID("repro")
+		insertItems(t, d, metric, 2000, "rp")
+		src := ring.Nodes()[0]
+		var out []Estimate
+		for pass := 0; pass < 4; pass++ {
+			est, err := d.CountFrom(src, metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, est)
+		}
+		return out
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical worlds diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	// The passes themselves must differ from each other — each draws its
+	// own stream, so repeated counts are independent samples, not replays.
+	same := true
+	for i := 1; i < len(a); i++ {
+		if !reflect.DeepEqual(a[i].Cost, a[0].Cost) || a[i].Value != a[0].Value {
+			same = false
+		}
+	}
+	if same {
+		t.Error("all passes identical: per-pass streams are not independent")
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/rand/v2"
+
 	"dhsketch/internal/dht"
 	"dhsketch/internal/sim"
 	"dhsketch/internal/sketch"
@@ -58,10 +60,11 @@ func (d *DHS) CountAllFrom(src dht.Node, metrics []uint64) ([]Estimate, error) {
 	var cost CountCost
 	var q scanQuality
 	limFor := d.limSchedule()
+	rng := d.countRNG()
 	if d.cfg.Kind == sketch.KindPCSA {
-		cost, q = d.scanAscending(src, states, limFor)
+		cost, q = d.scanAscending(src, states, limFor, rng)
 	} else {
-		cost, q = d.scanDescending(src, states, limFor)
+		cost, q = d.scanDescending(src, states, limFor, rng)
 	}
 
 	ests := make([]Estimate, len(states))
@@ -172,24 +175,32 @@ func (q scanQuality) forMetric(st *metricState) Quality {
 // first set bit seen for a vector is its maximum, R[j]. A skipped
 // interval (all probes failed) can only lose maxima, never invent them,
 // so no special handling is needed beyond recording it.
-func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bit int) int) (CountCost, scanQuality) {
+func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bit int) int, rng *rand.Rand) (CountCost, scanQuality) {
 	var cost CountCost
 	var q scanQuality
 	start := int(d.cfg.K) - 1 // Algorithm 1 scans the full bitmap length
-	if d.cfg.TrimmedScan || int(d.maxBit) > start {
+	if d.cfg.TrimmedScan {
+		// Ablation beyond the paper: skip positions above k − log₂(m),
+		// which the vector index makes unreachable.
+		start = int(d.maxBit)
+	}
+	if int(d.maxBit) > start {
+		// Range clamp, independent of the ablation: with m = 1 no hash
+		// bits go to the vector index, ranks reach bit k, and a scan
+		// capped at k−1 would silently drop the top statistic.
 		start = int(d.maxBit)
 	}
 	for bit := start; bit >= int(d.cfg.ShiftBits); bit-- {
 		if totalUnresolved(states) == 0 {
 			break
 		}
-		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, func(n dht.Node) bool {
+		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, rng, func(n dht.Node) bool {
 			now := d.env.Clock.Now()
 			for _, st := range states {
 				if st.unresolved == 0 {
 					continue
 				}
-				for _, v := range storeOf(n).VectorsWithBit(st.metric, uint8(bit), now) {
+				for _, v := range storeIfPresent(n).VectorsWithBit(st.metric, uint8(bit), now) {
 					if int(v) >= len(st.resolved) {
 						continue // foreign vector index (mismatched m); ignore
 					}
@@ -214,7 +225,7 @@ func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bi
 // leftmost zero). Unlike the descending scan, declaring a zero requires
 // exhausting the probe budget, which is why DHS-PCSA degrades faster than
 // DHS-sLL when intervals get sparse (§5.2, "Accuracy").
-func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit int) int) (CountCost, scanQuality) {
+func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit int) int, rng *rand.Rand) (CountCost, scanQuality) {
 	var cost CountCost
 	var q scanQuality
 	for bit := int(d.cfg.ShiftBits); bit <= int(d.maxBit); bit++ {
@@ -224,14 +235,14 @@ func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit
 		for _, st := range states {
 			clearBools(st.foundHere)
 		}
-		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, func(n dht.Node) bool {
+		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, rng, func(n dht.Node) bool {
 			now := d.env.Clock.Now()
 			allFound := true
 			for _, st := range states {
 				if st.unresolved == 0 {
 					continue
 				}
-				for _, v := range storeOf(n).VectorsWithBit(st.metric, uint8(bit), now) {
+				for _, v := range storeIfPresent(n).VectorsWithBit(st.metric, uint8(bit), now) {
 					if int(v) >= len(st.foundHere) {
 						continue // foreign vector index (mismatched m); ignore
 					}
@@ -316,7 +327,10 @@ type intervalOutcome struct {
 // successes) and the walk re-enters the interval at a fresh random
 // target instead of aborting — a dead node costs a probe, never the
 // pass. Traffic spent before a failure is metered as dropped.
-func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metricState, visit func(dht.Node) bool) (CountCost, intervalOutcome) {
+//
+// All randomness comes from rng, the calling pass's private stream, so
+// concurrent passes neither contend on nor perturb each other.
+func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metricState, rng *rand.Rand, visit func(dht.Node) bool) (CountCost, intervalOutcome) {
 	lo, size := d.intervalForBit(bit)
 
 	var cost CountCost
@@ -333,7 +347,7 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 	}
 
 	probe := func(n dht.Node, h int) bool {
-		n.Counters().Probed++
+		n.Counters().AddProbed()
 		out.visited++
 		cost.NodesVisited++
 		cost.Hops += int64(h)
@@ -356,7 +370,7 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 	// enter routes to a fresh uniform target in the interval; it costs
 	// one budget unit whether or not it succeeds.
 	enter := func() (dht.Node, int, bool) {
-		target := sim.UniformIn(d.rng, lo, size)
+		target := sim.UniformIn(rng, lo, size)
 		n, hops, err := d.overlay.LookupFrom(src, target)
 		cost.Lookups++
 		out.attempted++
@@ -376,15 +390,18 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 		var home, cur dht.Node
 		for out.attempted < lim {
 			if cur == nil {
-				// (Re-)enter the interval at a fresh random target.
+				// (Re-)enter the interval at a fresh random target. The
+				// wrap-around anchor is reset to the newly entered node:
+				// after a failed step the walk continues from a different
+				// position, and checking wraps against the first segment's
+				// entry point would terminate the new segment early (or
+				// miss its wrap entirely) on small rings.
 				n, hops, ok := enter()
 				if !ok {
 					continue
 				}
 				cur = n
-				if home == nil {
-					home = n
-				}
+				home = n
 				if probe(cur, hops) {
 					return cost, out
 				}

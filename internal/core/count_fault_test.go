@@ -294,8 +294,14 @@ func TestCountFromTransientlyDownOriginDegrades(t *testing.T) {
 
 func TestLimScheduleWiredIntoCount(t *testing.T) {
 	// A per-bit schedule must change the probing behaviour of plain
-	// Count: eq. 6 budgets for a sparse sketch probe more nodes than the
-	// constant default, and the schedule is clamped below at 1.
+	// Count: eq. 6 budgets for a sparse regime allocate more probes than
+	// the constant default, and the schedule is clamped below at 1. The
+	// metric is deliberately left empty: no vector ever resolves, so every
+	// interval spends its full budget and each pass's NodesVisited is
+	// exactly the sum of its per-bit lims — the comparison is deterministic
+	// regardless of which random targets the walk draws. (With data
+	// present the comparison is not even monotone: a bigger budget at high
+	// bits can resolve all vectors sooner and end the scan earlier.)
 	env := sim.NewEnv(77)
 	ring := chord.New(env, 256)
 	base := Config{Overlay: ring, Env: env, K: 16, M: 16, Kind: sketch.KindSuperLogLog}
@@ -304,11 +310,6 @@ func TestLimScheduleWiredIntoCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	metric := MetricID("sched")
-	for i := 0; i < 3000; i++ {
-		if _, err := d.Insert(metric, ItemID(fmt.Sprintf("sc-%d", i))); err != nil {
-			t.Fatal(err)
-		}
-	}
 	src := ring.Nodes()[0]
 	plain, err := d.CountFrom(src, metric)
 	if err != nil {

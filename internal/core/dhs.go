@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"dhsketch/internal/dht"
 	"dhsketch/internal/hashutil"
@@ -15,6 +16,13 @@ import (
 // persistent state lives in the per-node Stores on the overlay, so any
 // number of DHS handles with the same parameters interoperate — exactly
 // the paper's fully decentralized model.
+//
+// Concurrency: counting (Count, CountFrom, CountAllFrom, CountAdaptive*)
+// is safe to call from any number of goroutines against one handle and
+// one overlay — each pass draws from its own Derive-seeded RNG stream and
+// all shared state it touches (stores, traffic, node counters) is
+// synchronized. Insertion and clock advancement remain single-threaded:
+// they mutate overlay state the counting surface only reads.
 type DHS struct {
 	cfg     Config
 	overlay dht.Overlay
@@ -22,6 +30,12 @@ type DHS struct {
 	rng     *rand.Rand
 	c       uint // log2(M)
 	maxBit  uint // highest usable bit position (k - log2 m)
+
+	// countSeq numbers counting passes; pass p draws its targets from
+	// the stream PCG(seed, countSalt^p), so sequential runs are exactly
+	// reproducible and concurrent passes never share a stream.
+	countSeq  uint64
+	countSalt uint64
 }
 
 // New validates the configuration and returns a DHS handle.
@@ -35,13 +49,24 @@ func New(cfg Config) (*DHS, error) {
 		c = hashutil.Log2(uint64(cfg.M))
 	}
 	return &DHS{
-		cfg:     cfg,
-		overlay: cfg.Overlay,
-		env:     cfg.Env,
-		rng:     cfg.Env.Derive("dhs"),
-		c:       c,
-		maxBit:  cfg.K - c,
+		cfg:       cfg,
+		overlay:   cfg.Overlay,
+		env:       cfg.Env,
+		rng:       cfg.Env.Derive("dhs"),
+		c:         c,
+		maxBit:    cfg.K - c,
+		countSalt: md4.Sum64([]byte(fmt.Sprintf("%d|dhs-count", cfg.Env.Seed()))),
 	}, nil
+}
+
+// countRNG returns the private random stream for one counting pass. The
+// stream is a pure function of (master seed, pass number), so a
+// sequential sequence of passes is bit-for-bit reproducible, and two
+// concurrent passes — which take distinct pass numbers from the atomic
+// counter — never contend on or perturb each other's randomness.
+func (d *DHS) countRNG() *rand.Rand {
+	pass := atomic.AddUint64(&d.countSeq, 1)
+	return rand.New(rand.NewPCG(d.env.Seed(), d.countSalt^pass))
 }
 
 // Config returns the (defaulted) configuration of the handle.

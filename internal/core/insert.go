@@ -100,7 +100,7 @@ func (d *DHS) storeBit(src dht.Node, key TupleKey) (InsertCost, error) {
 
 		expiry := expiryFor(d.env.Clock.Now(), d.cfg.TTL)
 		storeOf(home).Set(key, expiry)
-		home.Counters().StoreOps++
+		home.Counters().AddStoreOps()
 
 		d.replicate(home, key, expiry, &cost)
 		return cost, nil
@@ -127,7 +127,7 @@ func (d *DHS) replicate(home dht.Node, key TupleKey, expiry int64, cost *InsertC
 			return // ring smaller than the replication degree
 		}
 		storeOf(next).Set(key, expiry)
-		next.Counters().StoreOps++
+		next.Counters().AddStoreOps()
 		cost.Hops++
 		cost.Bytes += TupleBytes + MsgHeaderBytes
 		d.env.Traffic.Account(1, TupleBytes+MsgHeaderBytes)
@@ -212,7 +212,7 @@ func (d *DHS) BulkInsertFrom(src dht.Node, metric uint64, itemIDs []uint64) (Ins
 
 		expiry := expiryFor(d.env.Clock.Now(), d.cfg.TTL)
 		st := storeOf(home)
-		home.Counters().StoreOps++
+		home.Counters().AddStoreOps()
 		for v := range vectors {
 			st.Set(TupleKey{Metric: metric, Vector: v, Bit: bit}, expiry)
 		}
@@ -231,7 +231,7 @@ func (d *DHS) BulkInsertFrom(src dht.Node, metric uint64, itemIDs []uint64) (Ins
 				break
 			}
 			rst := storeOf(next)
-			next.Counters().StoreOps++
+			next.Counters().AddStoreOps()
 			for v := range vectors {
 				rst.Set(TupleKey{Metric: metric, Vector: v, Bit: bit}, expiry)
 			}

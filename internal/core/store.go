@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"dhsketch/internal/dht"
 )
@@ -22,12 +23,20 @@ type TupleKey struct {
 // mapping to the same bit merely refresh the timestamp (§3.2: "if multiple
 // items set the bit stored on a given node, the storing node will only
 // maintain data for one bit and update its timestamp field accordingly").
+//
+// All methods are safe for concurrent use: probes garbage-collect expired
+// tuples on the way, so even the read paths mutate the map and take the
+// mutex. This is what lets any number of counting passes run against one
+// overlay at once.
 type Store struct {
+	mu     sync.Mutex
 	tuples map[TupleKey]int64 // key → expiry tick (math.MaxInt64 = no expiry)
 }
 
 // storeOf returns the DHS store attached to the node, creating it on
-// first use.
+// first use. Creation mutates the node's app slot, so this accessor
+// belongs to the single-threaded insertion path; concurrent counting
+// passes use storeIfPresent instead.
 func storeOf(n dht.Node) *Store {
 	if s, ok := n.App().(*Store); ok {
 		return s
@@ -37,15 +46,28 @@ func storeOf(n dht.Node) *Store {
 	return s
 }
 
+// storeIfPresent returns the node's store or nil, never creating one — a
+// node that was never inserted to has nothing to answer a probe with, and
+// not touching the app slot keeps concurrent probes of the same virgin
+// node race-free.
+func storeIfPresent(n dht.Node) *Store {
+	s, _ := n.App().(*Store)
+	return s
+}
+
 // Set records (or refreshes) one bit with the given expiry tick.
 func (s *Store) Set(k TupleKey, expiry int64) {
+	s.mu.Lock()
 	s.tuples[k] = expiry
+	s.mu.Unlock()
 }
 
 // Has reports whether the bit is present and unexpired at time now.
 // Expired tuples are garbage-collected on the way (implicit deletion,
 // §3.3: "deleting an item incurs no extra cost").
 func (s *Store) Has(k TupleKey, now int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	exp, ok := s.tuples[k]
 	if !ok {
 		return false
@@ -60,8 +82,14 @@ func (s *Store) Has(k TupleKey, now int64) bool {
 // VectorsWithBit returns, for the given metric and bit position, the set
 // of vector indices whose bit is present and live at this node. The reply
 // to a counting probe carries exactly this information, one bit per
-// vector (⌈m/8⌉ bytes per metric).
+// vector (⌈m/8⌉ bytes per metric). A nil receiver answers like an empty
+// store, so probe paths can use storeIfPresent without a guard.
 func (s *Store) VectorsWithBit(metric uint64, bit uint8, now int64) []int32 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []int32
 	for k, exp := range s.tuples {
 		if k.Metric != metric || k.Bit != bit {
@@ -79,6 +107,8 @@ func (s *Store) VectorsWithBit(metric uint64, bit uint8, now int64) []int32 {
 // Len returns the number of live tuples at time now, garbage-collecting
 // expired ones.
 func (s *Store) Len(now int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for k, exp := range s.tuples {
 		if exp < now {
 			delete(s.tuples, k)

@@ -7,7 +7,10 @@
 // DHS; the repository ships a Chord-like implementation in package chord.
 package dht
 
-import "errors"
+import (
+	"errors"
+	"sync/atomic"
+)
 
 // ErrNoRoute is returned when a lookup cannot complete, e.g. because the
 // overlay is empty or routing exceeded its hop budget.
@@ -27,12 +30,24 @@ var ErrTimeout = errors.New("dht: operation timed out")
 var ErrLost = errors.New("dht: message lost")
 
 // Counters records per-node load, used to verify the paper's constraint 3
-// (access and storage load balancing).
+// (access and storage load balancing). Increments go through the Add*
+// methods, which are atomic so concurrent counting passes can meter
+// against the same node; reading the fields directly is safe once the
+// concurrent operations have completed.
 type Counters struct {
 	Routed   int64 // times this node forwarded a routed message
 	Probed   int64 // times this node answered a DHS probe
 	StoreOps int64 // times this node handled a DHS store/refresh
 }
+
+// AddRouted atomically counts one forwarded routed message.
+func (c *Counters) AddRouted() { atomic.AddInt64(&c.Routed, 1) }
+
+// AddProbed atomically counts one answered DHS probe.
+func (c *Counters) AddProbed() { atomic.AddInt64(&c.Probed, 1) }
+
+// AddStoreOps atomically counts one handled DHS store/refresh.
+func (c *Counters) AddStoreOps() { atomic.AddInt64(&c.StoreOps, 1) }
 
 // Node is one overlay node as seen by the application layer.
 type Node interface {

@@ -7,6 +7,7 @@ import (
 	"dhsketch/internal/chord"
 	"dhsketch/internal/core"
 	"dhsketch/internal/faultdht"
+	"dhsketch/internal/runner"
 	"dhsketch/internal/sim"
 	"dhsketch/internal/sketch"
 )
@@ -76,20 +77,26 @@ func RunE12F(p Params, scenarios []E12FScenario) (*E12FResult, error) {
 		m *= 2
 	}
 
+	// Every (scenario, kind, R) cell builds its own environment, ring,
+	// and fault layer from Params.Seed, so the grid fans out across
+	// Params.Workers without changing any row.
 	kinds := []sketch.Kind{sketch.KindSuperLogLog, sketch.KindPCSA}
-	res := &E12FResult{Params: p, Items: items}
-	for _, sc := range scenarios {
-		for _, kind := range kinds {
-			for _, R := range []int{0, 3} {
-				row, err := runE12FCell(p, sc, kind, R, items, m)
-				if err != nil {
-					return nil, err
-				}
-				res.Rows = append(res.Rows, *row)
-			}
+	replications := []int{0, 3}
+	cells := len(scenarios) * len(kinds) * len(replications)
+	rows, err := runner.Map(cells, p.Workers, func(i int) (E12FRow, error) {
+		sc := scenarios[i/(len(kinds)*len(replications))]
+		kind := kinds[i/len(replications)%len(kinds)]
+		R := replications[i%len(replications)]
+		row, err := runE12FCell(p, sc, kind, R, items, m)
+		if err != nil {
+			return E12FRow{}, err
 		}
+		return *row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &E12FResult{Params: p, Items: items, Rows: rows}, nil
 }
 
 // runE12FCell loads and repeatedly counts one configuration on a fresh

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"dhsketch/internal/runner"
 	"dhsketch/internal/sketch"
 	"dhsketch/internal/workload"
 )
@@ -30,40 +31,44 @@ type E3Result struct {
 var DefaultE3Nodes = []int{1024, 2048, 4096, 10240}
 
 // RunE3 repeats the E2 measurement at m = Params.M over a sweep of
-// overlay sizes.
+// overlay sizes. Each size is an independent trial — its own environment
+// and ring built from Params.Seed — so the sweep fans out across
+// Params.Workers without changing any row.
 func RunE3(p Params, sizes []int) (*E3Result, error) {
 	p = p.Defaults()
 	if len(sizes) == 0 {
 		sizes = DefaultE3Nodes
 	}
 	rels := workload.PaperRelations(p.Scale)
-	res := &E3Result{Params: p}
-	for _, n := range sizes {
+	rows, err := runner.Map(len(sizes), p.Workers, func(i int) (E3Row, error) {
 		pn := p
-		pn.Nodes = n
+		pn.Nodes = sizes[i]
 		s, err := newSetup(pn, p.M, nil)
 		if err != nil {
-			return nil, err
+			return E3Row{}, err
 		}
 		var ins insertStats
 		for _, rel := range rels {
 			st, err := s.insertRelation(rel)
 			if err != nil {
-				return nil, err
+				return E3Row{}, err
 			}
 			ins.Items += st.Items
 			ins.Hops += st.Hops
 		}
-		row := E3Row{Nodes: n, AvgInsertHops: ins.AvgHops()}
+		row := E3Row{Nodes: sizes[i], AvgInsertHops: ins.AvgHops()}
 		if row.SLL, err = s.countRelations(sketch.KindSuperLogLog, rels, p.Trials); err != nil {
-			return nil, err
+			return E3Row{}, err
 		}
 		if row.PCSA, err = s.countRelations(sketch.KindPCSA, rels, p.Trials); err != nil {
-			return nil, err
+			return E3Row{}, err
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &E3Result{Params: p, Rows: rows}, nil
 }
 
 // Render writes the scalability table.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"dhsketch/internal/runner"
 	"dhsketch/internal/sketch"
 	"dhsketch/internal/workload"
 )
@@ -34,42 +35,47 @@ type E4Result struct {
 // DefaultE4Ms covers the paper's sweep into the degradation region.
 var DefaultE4Ms = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
 
-// RunE4 measures counting error over a wide sweep of bitmap counts.
+// RunE4 measures counting error over a wide sweep of bitmap counts. Each
+// bitmap count is an independent trial with its own environment and ring,
+// so the sweep fans out across Params.Workers without changing any row.
 func RunE4(p Params, ms []int) (*E4Result, error) {
 	p = p.Defaults()
 	if len(ms) == 0 {
 		ms = DefaultE4Ms
 	}
 	rels := workload.PaperRelations(p.Scale)
-	res := &E4Result{Params: p}
-	for _, m := range ms {
+	rows, err := runner.Map(len(ms), p.Workers, func(i int) (E4Row, error) {
+		m := ms[i]
 		s, err := newSetup(p, m, nil)
 		if err != nil {
-			return nil, err
+			return E4Row{}, err
 		}
 		for _, rel := range rels {
 			if _, err := s.insertRelation(rel); err != nil {
-				return nil, err
+				return E4Row{}, err
 			}
 		}
 		sll, err := s.countRelations(sketch.KindSuperLogLog, rels, p.Trials)
 		if err != nil {
-			return nil, err
+			return E4Row{}, err
 		}
 		pcsa, err := s.countRelations(sketch.KindPCSA, rels, p.Trials)
 		if err != nil {
-			return nil, err
+			return E4Row{}, err
 		}
-		res.Rows = append(res.Rows, E4Row{
+		return E4Row{
 			M:          m,
 			ErrSLL:     sll.AvgErr(),
 			ErrPCSA:    pcsa.AvgErr(),
 			TheorySLL:  sketch.KindSuperLogLog.StdError(m),
 			TheoryPCSA: sketch.KindPCSA.StdError(m),
 			Alpha:      float64(rels[0].Tuples) / (float64(m) * float64(p.Nodes)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &E4Result{Params: p, Rows: rows}, nil
 }
 
 // Render writes the accuracy sweep.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand/v2"
 
+	"dhsketch/internal/runner"
 	"dhsketch/internal/sketch"
 	"dhsketch/internal/stats"
 )
@@ -36,7 +37,10 @@ type E8Result struct {
 // DefaultE8Ms are the bitmap counts for the stddev validation.
 var DefaultE8Ms = []int{64, 256, 1024}
 
-// RunE8 runs many independent local-sketch trials per configuration.
+// RunE8 runs many independent local-sketch trials per configuration. The
+// (estimator, m) cells are independent — each trial's stream is seeded by
+// (Seed, trial, m) alone — so the grid fans out across Params.Workers
+// without changing any row.
 func RunE8(p Params, ms []int) (*E8Result, error) {
 	p = p.Defaults()
 	if len(ms) == 0 {
@@ -44,31 +48,33 @@ func RunE8(p Params, ms []int) (*E8Result, error) {
 	}
 	const n = 200000
 	trials := p.Trials * 5 // stddev needs more samples than a mean
-	res := &E8Result{Params: p, N: n, Trials: trials}
-	for _, kind := range []sketch.Kind{sketch.KindPCSA, sketch.KindSuperLogLog, sketch.KindLogLog, sketch.KindHyperLogLog} {
-		for _, m := range ms {
-			errs := make([]float64, trials)
-			for t := 0; t < trials; t++ {
-				e, err := sketch.New(kind, m, 24)
-				if err != nil {
-					return nil, err
-				}
-				rng := rand.New(rand.NewPCG(p.Seed, uint64(t)<<20|uint64(m)))
-				for i := 0; i < n; i++ {
-					e.Add(rng.Uint64())
-				}
-				errs[t] = (e.Estimate() - n) / n
+	kinds := []sketch.Kind{sketch.KindPCSA, sketch.KindSuperLogLog, sketch.KindLogLog, sketch.KindHyperLogLog}
+	rows, err := runner.Map(len(kinds)*len(ms), p.Workers, func(i int) (E8Row, error) {
+		kind, m := kinds[i/len(ms)], ms[i%len(ms)]
+		errs := make([]float64, trials)
+		for t := 0; t < trials; t++ {
+			e, err := sketch.New(kind, m, 24)
+			if err != nil {
+				return E8Row{}, err
 			}
-			res.Rows = append(res.Rows, E8Row{
-				Kind:           kind,
-				M:              m,
-				MeasuredStdDev: stats.StdDev(errs),
-				Theory:         kind.StdError(m),
-				Bias:           stats.Mean(errs),
-			})
+			rng := rand.New(rand.NewPCG(p.Seed, uint64(t)<<20|uint64(m)))
+			for i := 0; i < n; i++ {
+				e.Add(rng.Uint64())
+			}
+			errs[t] = (e.Estimate() - n) / n
 		}
+		return E8Row{
+			Kind:           kind,
+			M:              m,
+			MeasuredStdDev: stats.StdDev(errs),
+			Theory:         kind.StdError(m),
+			Bias:           stats.Mean(errs),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &E8Result{Params: p, N: n, Trials: trials, Rows: rows}, nil
 }
 
 // Render writes the stddev validation table.

@@ -15,6 +15,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"text/tabwriter"
 
 	"dhsketch/internal/chord"
@@ -47,6 +48,11 @@ type Params struct {
 	// Trials is the number of counting repetitions averaged per
 	// configuration (default 20).
 	Trials int
+	// Workers bounds how many independent experiment cells (sweep
+	// configurations, seeds) run concurrently; each cell builds its own
+	// environment and overlay from Seed, so results are bit-for-bit
+	// identical at every worker count. 0 means one worker per CPU.
+	Workers int
 }
 
 // Defaults fills zero fields with the paper's evaluation parameters.
@@ -74,6 +80,9 @@ func (p Params) Defaults() Params {
 	}
 	if p.Trials == 0 {
 		p.Trials = 20
+	}
+	if p.Workers == 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
 	}
 	return p
 }

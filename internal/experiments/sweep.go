@@ -1,0 +1,31 @@
+package experiments
+
+import "dhsketch/internal/runner"
+
+// SeedSweep runs one experiment per seed across the Params.Workers pool
+// and returns the per-seed results in seed order. Each run gets the same
+// parameters except Seed, and builds its own environment and overlay from
+// it, so the result slice is bit-for-bit identical at every worker count.
+//
+// The seed is the outermost axis of parallelism: the inner runs execute
+// their own sweep cells sequentially (Workers = 1) instead of nesting a
+// second pool inside each seed's goroutine.
+func SeedSweep[T any](p Params, seeds []uint64, run func(Params) (T, error)) ([]T, error) {
+	p = p.Defaults()
+	return runner.Map(len(seeds), p.Workers, func(i int) (T, error) {
+		ps := p
+		ps.Seed = seeds[i]
+		ps.Workers = 1
+		return run(ps)
+	})
+}
+
+// Seeds returns n consecutive seeds starting at base — the conventional
+// input to SeedSweep.
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
+}

@@ -19,6 +19,7 @@ package faultdht
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
 
 	"dhsketch/internal/dht"
 	"dhsketch/internal/md4"
@@ -90,10 +91,20 @@ func (s Stats) Failed() int64 { return s.Lost + s.Timeouts + s.DownHits }
 // Overlay wraps an inner dht.Overlay and injects faults on its message-
 // bearing operations (LookupFrom, Successor, Predecessor). Zero-cost
 // ground-truth operations (Owner, Nodes, Size) pass through untouched.
+//
+// The fault layer is safe for concurrent counting passes: the per-message
+// drop stream and the fault counters sit behind a mutex. Note that
+// concurrent passes consume the shared drop stream in scheduling order,
+// so which pass eats which drop is nondeterministic — deterministic runs
+// parallelize at the trial level (one Overlay per trial), not inside one.
 type Overlay struct {
 	inner dht.Overlay
 	env   *sim.Env
 	cfg   Config
+
+	// mu guards rng and stats: exchange() runs on the counting surface,
+	// which may be driven by many goroutines at once.
+	mu    sync.Mutex
 	rng   *rand.Rand
 	stats Stats
 }
@@ -112,8 +123,12 @@ func New(inner dht.Overlay, env *sim.Env, cfg Config) *Overlay {
 // Inner returns the wrapped overlay.
 func (o *Overlay) Inner() dht.Overlay { return o.inner }
 
-// Stats returns the fault counters accumulated so far.
-func (o *Overlay) Stats() Stats { return o.stats }
+// Stats returns a snapshot of the fault counters accumulated so far.
+func (o *Overlay) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
 
 // Config returns the (defaulted) fault configuration.
 func (o *Overlay) Config() Config { return o.cfg }
@@ -143,6 +158,8 @@ func (o *Overlay) Down(n dht.Node) bool {
 // node n: first the lossy link, then the node's down-window, then the
 // slow-node timeout. Returns nil when the exchange succeeds.
 func (o *Overlay) exchange(n dht.Node) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.stats.Exchanges++
 	if o.cfg.DropProb > 0 && o.rng.Float64() < o.cfg.DropProb {
 		o.stats.Lost++
@@ -193,8 +210,10 @@ func (o *Overlay) Lookup(key uint64) (dht.Node, int, error) {
 func (o *Overlay) LookupFrom(src dht.Node, key uint64) (dht.Node, int, error) {
 	if o.Down(src) {
 		// The originator itself is inside a down-window; nothing leaves it.
+		o.mu.Lock()
 		o.stats.Exchanges++
 		o.stats.DownHits++
+		o.mu.Unlock()
 		return nil, 0, dht.ErrNodeDown
 	}
 	n, hops, err := o.inner.LookupFrom(src, key)

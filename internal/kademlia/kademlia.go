@@ -240,7 +240,7 @@ func (t *Table) LookupFrom(src dht.Node, key uint64) (dht.Node, int, error) {
 		}
 		cur = next
 		hops++
-		cur.counters.Routed++
+		cur.counters.AddRouted()
 	}
 	return owner, hops, nil
 }

@@ -1,0 +1,112 @@
+// Package runner is the parallel trial engine the experiment drivers run
+// on: a worker pool that fans independent jobs — each building its own
+// sim.Env, overlay, and Derive-seeded RNG streams — across goroutines
+// while keeping the output deterministic.
+//
+// Determinism contract: Map returns results in job-index order, and a job
+// never observes which worker ran it or in what order jobs were
+// scheduled. As long as each job is self-contained (it derives all its
+// randomness from its own inputs and shares no mutable state with other
+// jobs), the result slice is bit-for-bit identical to a sequential run at
+// every worker count — including Workers(1), which runs the jobs inline
+// with no goroutines at all.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values below 1 mean "one
+// worker per available CPU" (GOMAXPROCS). The result is never larger than
+// needed for n jobs.
+func Workers(requested, n int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n >= 0 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(0), …, fn(n-1) across at most workers goroutines and
+// returns the results in index order. workers below 1 means GOMAXPROCS.
+//
+// Error semantics are deterministic: if any job fails, Map returns
+// (nil, err) where err is the failing job with the lowest index —
+// regardless of worker count or scheduling order. All n jobs are run
+// even after a failure (an error aborts the whole experiment anyway, and
+// finishing guarantees the lowest failing index is actually discovered).
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = Workers(workers, n)
+	results := make([]T, n)
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int // next unclaimed job index
+		firstErr error
+		errIdx   = n // index of firstErr; n = none
+		wg       sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		// Keep claiming even after a failure: a lower-index job may fail
+		// too, and the contract promises the lowest failing index wins.
+		if next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && i < errIdx {
+			firstErr, errIdx = err, i
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				r, err := fn(i)
+				if err != nil {
+					record(i, err)
+					continue
+				}
+				results[i] = r // each index is written by exactly one worker
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		requested, n, want int
+	}{
+		{1, 100, 1},
+		{4, 100, 4},
+		{0, 100, runtime.GOMAXPROCS(0)}, // default: one per CPU
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{8, 3, 3}, // never more workers than jobs
+		{8, 0, 1}, // degenerate job counts still yield a sane pool
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		got, err := Map(100, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The determinism contract: self-contained jobs produce bit-identical
+	// result slices at every worker count.
+	run := func(workers int) []string {
+		out, err := Map(37, workers, func(i int) (string, error) {
+			return fmt.Sprintf("job-%d:%d", i, i*31), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, 8, runtime.GOMAXPROCS(0)} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d diverged at %d: %q vs %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapLowestErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Map(50, workers, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errLow
+			case 33:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: err = %v, want the lowest-index failure", workers, err)
+		}
+	}
+}
+
+func TestMapRunsAllJobsOnce(t *testing.T) {
+	var calls [64]atomic.Int32
+	if _, err := Map(64, 4, func(i int) (struct{}, error) {
+		calls[i].Add(1)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Errorf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapActuallyConcurrent(t *testing.T) {
+	// Two jobs rendezvous: each waits for the other to start, which can
+	// only complete if two workers run them simultaneously.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := Map(2, 2, func(i int) (int, error) {
+			barrier.Done()
+			barrier.Wait()
+			return i, nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-done
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { return i, nil })
+	if err != nil || got != nil {
+		t.Errorf("Map(0) = %v, %v", got, err)
+	}
+}

@@ -8,6 +8,7 @@ package sim
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"dhsketch/internal/md4"
 )
@@ -31,7 +32,11 @@ func (c *Clock) Advance(d int64) {
 	c.now += d
 }
 
-// Traffic accumulates the cost of network operations.
+// Traffic accumulates the cost of network operations. The mutating
+// methods (Account, Drop, Add) update the fields atomically, so any
+// number of concurrent counting passes may meter against one record;
+// reading the fields directly is safe once the passes have completed
+// (the usual snapshot-delta pattern in the experiments).
 type Traffic struct {
 	Messages int64 // number of point-to-point messages delivered
 	Hops     int64 // overlay hops traversed (≥ Messages for routed sends)
@@ -42,9 +47,9 @@ type Traffic struct {
 // Account records one logical transfer of size bytes over the given number
 // of overlay hops. A direct neighbor message is hops = 1.
 func (t *Traffic) Account(hops int, bytes int) {
-	t.Messages++
-	t.Hops += int64(hops)
-	t.Bytes += int64(bytes) * int64(hops)
+	atomic.AddInt64(&t.Messages, 1)
+	atomic.AddInt64(&t.Hops, int64(hops))
+	atomic.AddInt64(&t.Bytes, int64(bytes)*int64(hops))
 }
 
 // Drop records a failed message exchange: the request still traversed the
@@ -52,17 +57,17 @@ func (t *Traffic) Account(hops int, bytes int) {
 // nothing was delivered. Failed exchanges are metered separately from
 // Messages so experiments can report wasted versus useful traffic.
 func (t *Traffic) Drop(hops int, bytes int) {
-	t.Dropped++
-	t.Hops += int64(hops)
-	t.Bytes += int64(bytes) * int64(hops)
+	atomic.AddInt64(&t.Dropped, 1)
+	atomic.AddInt64(&t.Hops, int64(hops))
+	atomic.AddInt64(&t.Bytes, int64(bytes)*int64(hops))
 }
 
 // Add folds another traffic record into this one.
 func (t *Traffic) Add(other Traffic) {
-	t.Messages += other.Messages
-	t.Hops += other.Hops
-	t.Bytes += other.Bytes
-	t.Dropped += other.Dropped
+	atomic.AddInt64(&t.Messages, other.Messages)
+	atomic.AddInt64(&t.Hops, other.Hops)
+	atomic.AddInt64(&t.Bytes, other.Bytes)
+	atomic.AddInt64(&t.Dropped, other.Dropped)
 }
 
 // Sub returns the difference t - other; used to measure the cost of a

@@ -12,6 +12,19 @@ import (
 // Flajolet) reports θ₀ = 0.7 as near-optimal.
 const theta0 = 0.7
 
+// theta0Count returns m₀ = ⌊θ₀·m⌋ (at least 1) in exact integer
+// arithmetic: θ₀ is exactly 7/10, so ⌊θ₀·m⌋ = 7m/10. The float64 product
+// 0.7·m lands just below the true value whenever 7m/10 is an integer
+// (0.7 is not representable; e.g. m = 10 → 6.999…), and truncating it
+// would silently drop one vector from the truncated mean.
+func theta0Count(m int) int {
+	m0 := 7 * m / 10
+	if m0 < 1 {
+		m0 = 1
+	}
+	return m0
+}
+
 // LogLog implements plain LogLog counting (Durand & Flajolet 2003): each
 // of m buckets records the maximum rank ρ(hash remainder)+1 observed, and
 // the estimate is α_m · m · 2^{mean(rank)}.
@@ -137,10 +150,7 @@ func EstimateSuperLogLog(ranks []int) float64 {
 	if m == 0 {
 		return 0
 	}
-	m0 := int(theta0 * float64(m))
-	if m0 < 1 {
-		m0 = 1
-	}
+	m0 := theta0Count(m)
 	sorted := append([]int(nil), ranks...)
 	sort.Ints(sorted)
 	var sum int

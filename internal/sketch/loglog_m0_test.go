@@ -1,0 +1,53 @@
+package sketch
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestTheta0CountExactFloor(t *testing.T) {
+	// m₀ = ⌊θ₀·m⌋ with θ₀ = 7/10 exactly, checked against arbitrary-
+	// precision rational arithmetic for every m the estimator can see.
+	divergences := 0
+	for m := 2; m <= 4096; m++ {
+		floor := new(big.Int).Quo(big.NewInt(int64(7*m)), big.NewInt(10))
+		want := int(floor.Int64())
+		if want < 1 {
+			want = 1
+		}
+		got := theta0Count(m)
+		if got != want {
+			t.Fatalf("theta0Count(%d) = %d, want ⌊7·%d/10⌋ = %d", m, got, m, want)
+		}
+		if got < 1 || got > m {
+			t.Fatalf("theta0Count(%d) = %d outside [1, m]", m, got)
+		}
+		// Document the float trap the integer form avoids: whenever the
+		// two disagree, the float64 product truncated one vector short.
+		if naive := int(theta0 * float64(m)); naive != got {
+			divergences++
+			if naive != got-1 {
+				t.Fatalf("m=%d: float m₀ %d is not exactly one short of %d", m, naive, got)
+			}
+		}
+	}
+	if divergences == 0 {
+		t.Error("int(0.7·m) never diverged from 7m/10 — the regression this test pins cannot occur")
+	}
+}
+
+func TestEstimateSuperLogLogUsesExactM0(t *testing.T) {
+	// At m = 10, m₀ must be 7 (the float product 0.7·10 = 6.999… would
+	// truncate to 6): the 7 smallest ranks enter the mean, the top 3 do
+	// not. Perturbing the 7th smallest must change the estimate;
+	// perturbing the 8th must not.
+	base := []int{1, 2, 3, 4, 5, 6, 7, 20, 21, 22}
+	seventhUp := []int{1, 2, 3, 4, 5, 6, 8, 20, 21, 22}
+	eighthUp := []int{1, 2, 3, 4, 5, 6, 7, 25, 21, 22}
+	if EstimateSuperLogLog(base) == EstimateSuperLogLog(seventhUp) {
+		t.Error("7th smallest rank excluded: m₀ fell short of ⌊0.7·10⌋ = 7")
+	}
+	if EstimateSuperLogLog(base) != EstimateSuperLogLog(eighthUp) {
+		t.Error("8th smallest rank included: m₀ exceeds ⌊0.7·10⌋ = 7")
+	}
+}

@@ -1,0 +1,77 @@
+// Benchmarks for the parallel experiment engine: the same multi-seed
+// sweep at increasing worker counts. The jobs are independent
+// deterministic trials (one world per seed), so the sweep scales with
+// cores — compare the ns/op of the sub-benchmarks to read the speedup;
+// on a 4-core machine workers=4 runs the sweep several times faster than
+// workers=1, with byte-identical results (the determinism tests in
+// internal/experiments pin that).
+package dhsketch_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"dhsketch/internal/experiments"
+)
+
+// sweepWorkerCounts is the ladder of worker counts benchmarked: the
+// sequential baseline, 2, 4, and the machine's CPU count.
+func sweepWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkSeedSweepE8 fans a multi-seed E8 estimator-validation sweep
+// (CPU-bound local sketch trials) across the worker pool.
+func BenchmarkSeedSweepE8(b *testing.B) {
+	p := benchParams()
+	p.Trials = 2 // ×5 = 10 sketch trials per cell
+	seeds := experiments.Seeds(1, 8)
+	for _, workers := range sweepWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pw := p
+			pw.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.SeedSweep(pw, seeds, func(p experiments.Params) (*experiments.E8Result, error) {
+					return experiments.RunE8(p, []int{256})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(seeds) {
+					b.Fatalf("got %d results for %d seeds", len(res), len(seeds))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSeedSweepE4 is the distributed-counting variant: each seed
+// builds a full overlay, loads the relations, and runs the E4 accuracy
+// sweep at one bitmap count.
+func BenchmarkSeedSweepE4(b *testing.B) {
+	p := benchParams()
+	p.Trials = 3
+	seeds := experiments.Seeds(1, 4)
+	for _, workers := range sweepWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pw := p
+			pw.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.SeedSweep(pw, seeds, func(p experiments.Params) (*experiments.E4Result, error) {
+					return experiments.RunE4(p, []int{64})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(seeds) {
+					b.Fatalf("got %d results for %d seeds", len(res), len(seeds))
+				}
+			}
+		})
+	}
+}
