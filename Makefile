@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet lint fmtcheck race verify bench
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,28 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the repository's custom analyzers (internal/lint) over every
+# package: determinism, maporder, dhterrors, panicmsg, lockedcopy. See
+# DESIGN.md §10 for what each one enforces and why.
+lint:
+	$(GO) run ./cmd/dhslint ./...
+
+# fmtcheck fails if any tracked Go file is not gofmt-clean.
+fmtcheck:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# verify is the full pre-merge gate: tier-1 (build + test) plus vet and
-# the race detector.
-verify: build vet test race
+# verify is the full pre-merge gate: tier-1 (build + test) plus vet, the
+# custom lint suite, formatting, and the race detector.
+verify: build vet lint fmtcheck test race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x .

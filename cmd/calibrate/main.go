@@ -11,6 +11,11 @@
 // tool and paste its output there if the truncation rule or estimator
 // form ever changes.
 //
+// Randomness: each m gets its own stream, PCG(-seed, m), so the table is
+// reproducible for a given -seed (default 1 — the seed the baked-in
+// constants were derived with) and the rows are independent of the
+// [-cmin, -cmax] range requested.
+//
 // Usage:
 //
 //	calibrate [-cmin 1] [-cmax 16] [-seed 1] [-budget 2e8]

@@ -157,7 +157,7 @@ func (n *Network) RandomNode() Node { return n.Ring.RandomNode() }
 func (n *Network) AdvanceClock(ticks int64) { n.Env.Clock.Advance(ticks) }
 
 // TrafficTotal returns the cumulative network traffic so far.
-func (n *Network) TrafficTotal() Traffic { return n.Env.Traffic }
+func (n *Network) TrafficTotal() Traffic { return n.Env.Traffic.Snapshot() }
 
 // FailNodes crashes k random nodes (their soft state is lost).
 func (n *Network) FailNodes(k int) { n.Ring.FailRandom(k) }

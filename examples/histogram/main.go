@@ -8,6 +8,10 @@
 // bucket count — this is what makes histogram-based query optimization
 // affordable at internet scale.
 //
+// Randomness: the overlay derives every stream from master seed 7
+// (NewNetwork), and the synthetic relation uses its own PCG(7, 7) — the
+// run is fully deterministic and its output never changes.
+//
 //	go run ./examples/histogram
 package main
 

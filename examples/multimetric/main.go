@@ -8,6 +8,10 @@
 // ranking node needs ALL keyword frequencies; with DHS it pays one
 // counting pass, not one per keyword.
 //
+// Randomness: the overlay derives every stream from master seed 11
+// (NewNetwork), and the document corpus uses its own PCG(11, 11) — the
+// run is fully deterministic and its output never changes.
+//
 //	go run ./examples/multimetric
 package main
 

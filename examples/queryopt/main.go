@@ -4,6 +4,10 @@
 // a megabyte to reconstruct — the optimizer picks the cheapest join tree
 // locally, saving tens of megabytes of data transfer.
 //
+// Randomness: the overlay derives every stream from master seed 99
+// (NewNetwork), and the synthetic relations use their own PCG(99, 1) —
+// the run is fully deterministic and its output never changes.
+//
 //	go run ./examples/queryopt
 package main
 

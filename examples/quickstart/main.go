@@ -6,6 +6,10 @@
 // the cardinality by probing O(k) ID-space intervals — no node ever sees
 // more than a few of the sketch's bits.
 //
+// Randomness: everything — overlay layout, item IDs, originator choices —
+// derives from master seed 42 (NewNetwork), so the run is fully
+// deterministic and its output never changes.
+//
 //	go run ./examples/quickstart
 package main
 

@@ -8,6 +8,9 @@
 // remedy (i) derives a larger per-interval budget from eq. 6 using a
 // first-pass estimate — implemented as DHS.CountAdaptive.
 //
+// Randomness: everything derives from master seed 12 (NewNetwork), so
+// the run is fully deterministic and its output never changes.
+//
 //	go run ./examples/smallsets
 package main
 

@@ -143,7 +143,7 @@ func NewSingleNodeCounter(s *Scenario, name string) (*SingleNodeCounter, error) 
 // Build sends every node's items to the counter node, one update message
 // per item.
 func (c *SingleNodeCounter) Build() (Result, error) {
-	before := c.s.env.Traffic
+	before := c.s.env.Traffic.Snapshot()
 	for node, items := range c.s.local {
 		for _, it := range items {
 			_, hops, err := c.s.ring.LookupFrom(node, c.home.ID())
@@ -159,14 +159,14 @@ func (c *SingleNodeCounter) Build() (Result, error) {
 	return Result{
 		Estimate:             float64(len(c.itemSet)),
 		DuplicateInsensitive: true, // at the cost of storing every item ID centrally
-		Cost:                 c.s.env.Traffic.Sub(before),
+		Cost:                 c.s.env.Traffic.Snapshot().Sub(before),
 		MaxNodeLoad:          c.load[c.home],
 	}, nil
 }
 
 // Query reads the counter from a random node.
 func (c *SingleNodeCounter) Query() (Result, error) {
-	before := c.s.env.Traffic
+	before := c.s.env.Traffic.Snapshot()
 	src := c.s.ring.RandomNode()
 	_, hops, err := c.s.ring.LookupFrom(src, c.home.ID())
 	if err != nil {
@@ -177,7 +177,7 @@ func (c *SingleNodeCounter) Query() (Result, error) {
 	return Result{
 		Estimate:             float64(len(c.itemSet)),
 		DuplicateInsensitive: true,
-		Cost:                 c.s.env.Traffic.Sub(before),
+		Cost:                 c.s.env.Traffic.Snapshot().Sub(before),
 		MaxNodeLoad:          c.load[c.home],
 	}, nil
 }
@@ -193,7 +193,7 @@ func (c *SingleNodeCounter) Query() (Result, error) {
 // sensitive and costs N messages per round — the "multi-round property"
 // the paper faults gossip for (constraint 1).
 func PushSum(s *Scenario, rounds int) Result {
-	before := s.env.Traffic
+	before := s.env.Traffic.Snapshot()
 	nodes := s.ring.Nodes()
 	n := len(nodes)
 	sums := make(map[dht.Node]float64, n)
@@ -236,7 +236,7 @@ func PushSum(s *Scenario, rounds int) Result {
 	return Result{
 		Estimate:             est,
 		DuplicateInsensitive: false,
-		Cost:                 s.env.Traffic.Sub(before),
+		Cost:                 s.env.Traffic.Snapshot().Sub(before),
 		MaxNodeLoad:          maxLoad,
 	}
 }
@@ -251,7 +251,7 @@ func PushSum(s *Scenario, rounds int) Result {
 // sketch-based convergecast systems the paper cites ([3,4,8]) — otherwise
 // it sums raw local counts. Either way every query touches all N nodes.
 func Convergecast(s *Scenario, useSketches bool, m int, w uint) (Result, error) {
-	before := s.env.Traffic
+	before := s.env.Traffic.Snapshot()
 	nodes := s.ring.Nodes()
 	n := len(nodes)
 	rootIdx := s.rng.IntN(n)
@@ -312,7 +312,7 @@ func Convergecast(s *Scenario, useSketches bool, m int, w uint) (Result, error) 
 	return Result{
 		Estimate:             est,
 		DuplicateInsensitive: useSketches,
-		Cost:                 s.env.Traffic.Sub(before),
+		Cost:                 s.env.Traffic.Snapshot().Sub(before),
 		MaxNodeLoad:          maxLoad,
 	}, nil
 }
@@ -325,7 +325,7 @@ func Convergecast(s *Scenario, useSketches bool, m int, w uint) (Result, error) 
 // sensitive and with error governed by the variance of the per-node
 // load — the accuracy problem the paper cites ([7]).
 func Sampling(s *Scenario, sampleSize int) Result {
-	before := s.env.Traffic
+	before := s.env.Traffic.Snapshot()
 	nodes := s.ring.Nodes()
 	n := len(nodes)
 	if sampleSize > n {
@@ -348,7 +348,7 @@ func Sampling(s *Scenario, sampleSize int) Result {
 	return Result{
 		Estimate:             sampled * float64(n) / float64(sampleSize),
 		DuplicateInsensitive: false,
-		Cost:                 s.env.Traffic.Sub(before),
+		Cost:                 s.env.Traffic.Snapshot().Sub(before),
 		// Each probed node answers once, but the querier issues and
 		// collects every probe, so it bears the peak load.
 		MaxNodeLoad: maxLoad,

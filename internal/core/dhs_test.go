@@ -450,7 +450,7 @@ func TestTrafficAccountingConsistent(t *testing.T) {
 	// operation reports.
 	d, ring, env := testDHS(t, 31, 64, Config{M: 16})
 	metric := MetricID("traffic")
-	before := env.Traffic
+	before := env.Traffic.Snapshot()
 	var insHops int64
 	for i := 0; i < 500; i++ {
 		c, err := d.Insert(metric, ItemID(fmt.Sprintf("tr-%d", i)))
@@ -464,7 +464,7 @@ func TestTrafficAccountingConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	delta := env.Traffic.Sub(before)
+	delta := env.Traffic.Snapshot().Sub(before)
 	if delta.Hops != insHops+est.Cost.Hops {
 		t.Errorf("global hops %d != insert %d + count %d", delta.Hops, insHops, est.Cost.Hops)
 	}

@@ -33,7 +33,11 @@ var ErrLost = errors.New("dht: message lost")
 // (access and storage load balancing). Increments go through the Add*
 // methods, which are atomic so concurrent counting passes can meter
 // against the same node; reading the fields directly is safe once the
-// concurrent operations have completed.
+// concurrent operations have completed. Live records must not be copied
+// field-by-field — use Snapshot, which reads each field atomically; the
+// marker below lets dhslint enforce that.
+//
+//dhslint:guard
 type Counters struct {
 	Routed   int64 // times this node forwarded a routed message
 	Probed   int64 // times this node answered a DHS probe
@@ -48,6 +52,17 @@ func (c *Counters) AddProbed() { atomic.AddInt64(&c.Probed, 1) }
 
 // AddStoreOps atomically counts one handled DHS store/refresh.
 func (c *Counters) AddStoreOps() { atomic.AddInt64(&c.StoreOps, 1) }
+
+// Snapshot returns a copy of the counters with every field read
+// atomically — the only sanctioned way to copy a live record while
+// concurrent passes may still be metering against it.
+func (c *Counters) Snapshot() Counters {
+	return Counters{
+		Routed:   atomic.LoadInt64(&c.Routed),
+		Probed:   atomic.LoadInt64(&c.Probed),
+		StoreOps: atomic.LoadInt64(&c.StoreOps),
+	}
+}
 
 // Node is one overlay node as seen by the application layer.
 type Node interface {

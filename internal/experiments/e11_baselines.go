@@ -88,7 +88,7 @@ func RunE11(p Params) (*E11Result, error) {
 		return nil, err
 	}
 	metric := core.MetricID("e11")
-	buildBefore := env.Traffic
+	buildBefore := env.Traffic.Snapshot()
 	var insertErr error
 	scen.ForEach(func(n dht.Node, local []uint64) {
 		for _, it := range local {
@@ -100,8 +100,8 @@ func RunE11(p Params) (*E11Result, error) {
 	if insertErr != nil {
 		return nil, insertErr
 	}
-	buildMsgs := env.Traffic.Sub(buildBefore).Messages
-	qBefore := env.Traffic
+	buildMsgs := env.Traffic.Snapshot().Sub(buildBefore).Messages
+	qBefore := env.Traffic.Snapshot()
 	est, err := d.Count(metric)
 	if err != nil {
 		return nil, err
@@ -112,7 +112,7 @@ func RunE11(p Params) (*E11Result, error) {
 			maxProbe = pl
 		}
 	}
-	addRow("DHS (sLL)", est.Value, true, buildMsgs, env.Traffic.Sub(qBefore), maxProbe)
+	addRow("DHS (sLL)", est.Value, true, buildMsgs, env.Traffic.Snapshot().Sub(qBefore), maxProbe)
 
 	// One node per counter.
 	snc, err := baseline.NewSingleNodeCounter(scen, "e11")

@@ -88,7 +88,7 @@ func RunE12(p Params, periods []int64) (*E12Result, error) {
 		if err := refresh(); err != nil {
 			return nil, err
 		}
-		maintStart := env.Traffic
+		maintStart := env.Traffic.Snapshot()
 
 		var errSum, worst float64
 		lastRefresh := env.Clock.Now()
@@ -118,7 +118,7 @@ func RunE12(p Params, periods []int64) (*E12Result, error) {
 				worst = e
 			}
 		}
-		maint := env.Traffic.Sub(maintStart)
+		maint := env.Traffic.Snapshot().Sub(maintStart)
 		res.Rows = append(res.Rows, E12Row{
 			RefreshPeriod:     period,
 			MaintBytesPerTick: float64(maint.Bytes) / float64(rounds*ticksPerRound),

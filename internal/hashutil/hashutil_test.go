@@ -263,6 +263,60 @@ func TestIntervalPanics(t *testing.T) {
 	}
 }
 
+// mustPanicWith runs f and asserts it panics with exactly msg. Exact
+// matching pins the "hashutil: ..." prefix convention that the panicmsg
+// analyzer enforces.
+func mustPanicWith(t *testing.T, msg string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic, want %q", msg)
+			return
+		}
+		if got, ok := r.(string); !ok || got != msg {
+			t.Errorf("panic = %v, want %q", r, msg)
+		}
+	}()
+	f()
+}
+
+func TestPanicMessages(t *testing.T) {
+	mustPanicWith(t, "hashutil: argument is not a power of two", func() { Log2(0) })
+	mustPanicWith(t, "hashutil: argument is not a power of two", func() { Log2(12) })
+	mustPanicWith(t, "hashutil: Thr out of range", func() { Thr(65, 0) })
+	mustPanicWith(t, "hashutil: Thr out of range", func() { Thr(24, 24) })
+	mustPanicWith(t, "hashutil: Interval requires 0 < k <= L", func() { Interval(64, 0, 0) })
+	mustPanicWith(t, "hashutil: Interval requires 0 < k <= L", func() { Interval(64, 65, 0) })
+	mustPanicWith(t, "hashutil: bit position beyond bitmap length", func() { Interval(64, 24, 25) })
+	mustPanicWith(t, "hashutil: log2(m) must be smaller than the bitmap key length", func() { Split(0, 9, 512) })
+	mustPanicWith(t, "hashutil: log2(m) must be smaller than the bitmap key length", func() { Split(0, 8, 512) })
+}
+
+func TestThrBoundaries(t *testing.T) {
+	// The panic guards in Thr are strict bounds: L = 64 and r = L-1 are
+	// the last legal values on each axis.
+	if got := Thr(64, 63); got != 1 {
+		t.Errorf("Thr(64,63) = %d, want 1", got)
+	}
+	if got := Thr(1, 0); got != 1 {
+		t.Errorf("Thr(1,0) = %d, want 1", got)
+	}
+}
+
+func TestSplitBoundary(t *testing.T) {
+	// c = k-1 is the largest legal vector count: one bit remains for r,
+	// so r is always ρ over a 1-bit value — 0 or 1.
+	v, r := Split(0xffffffff, 10, 512)
+	if v != 511 || r != 0 {
+		t.Errorf("Split(all-ones, 10, 512) = (%d, %d), want (511, 0)", v, r)
+	}
+	v, r = Split(0x1ff, 10, 512) // low 9 bits set, bit 9 clear → rho(0) = 1
+	if v != 511 || r != 1 {
+		t.Errorf("Split(0x1ff, 10, 512) = (%d, %d), want (511, 1)", v, r)
+	}
+}
+
 func BenchmarkSplit(b *testing.B) {
 	rng := rand.New(rand.NewPCG(1, 1))
 	ids := make([]uint64, 1024)

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer enforces the repository's reproducibility contract
+// (DESIGN.md §9): every run is a pure function of its seed. It forbids
+//
+//   - wall-clock reads and timers from package time (Now, Since, Until,
+//     Sleep, After, Tick, ...) — experiment output must not depend on
+//     when it runs;
+//   - the process-global top-level functions of math/rand/v2 (rand.IntN,
+//     rand.Uint64, rand.Shuffle, ...), whose shared source is seeded
+//     unpredictably at startup — all randomness must flow through a
+//     *rand.Rand built from an explicit seed (rand.New(rand.NewPCG(...)));
+//   - importing math/rand (v1) at all: its sources are seedable from
+//     wall-clock time and its global state is unseeded, which is where
+//     every historical "unseeded rand.New" comes from.
+//
+// Legitimate wall-clock sites (e.g. cmd/dhsbench's elapsed-time display)
+// carry a //dhslint:allow determinism(reason) annotation.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock time and process-global or unseeded randomness",
+	Run:  runDeterminism,
+}
+
+// forbiddenTimeFuncs are the package time functions that observe or wait
+// on the wall clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRandV2Funcs are the package-level math/rand/v2 functions that do
+// NOT touch the process-global source: explicit-seed constructors.
+var allowedRandV2Funcs = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, file := range pass.Pkg.Syntax {
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "math/rand" {
+				pass.Reportf(imp.Pos(), "import of math/rand (v1): use a seeded math/rand/v2 stream (rand.New(rand.NewPCG(seed, salt)))")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(pass.Pkg.Info, sel.X)
+			if pn == nil {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if forbiddenTimeFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; derive timing from the deterministic sim.Clock", sel.Sel.Name)
+				}
+			case "math/rand/v2":
+				if obj := pass.Pkg.Info.Uses[sel.Sel]; obj != nil {
+					if _, isFunc := obj.(*types.Func); isFunc && !allowedRandV2Funcs[sel.Sel.Name] {
+						pass.Reportf(sel.Pos(), "rand.%s uses the process-global random source; use a stream seeded via rand.New(rand.NewPCG(...))", sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

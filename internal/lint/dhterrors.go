@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DHTErrorsAnalyzer guards the failure-awareness contract (DESIGN.md §8):
+// internal/core must never silently drop a typed DHT error. Every call
+// into internal/dht or internal/faultdht that returns an error must bind
+// it to a real variable — to be classified with errors.Is against
+// dht.ErrTimeout / dht.ErrLost / dht.ErrNodeDown, counted against the
+// probe budget, or propagated. A call used as a bare statement or with
+// the error position assigned to `_` is a silent drop and is flagged.
+var DHTErrorsAnalyzer = &Analyzer{
+	Name:  "dhterrors",
+	Doc:   "forbid discarding errors returned by internal/dht and internal/faultdht",
+	Match: func(path string) bool { return pathHasSuffix(path, "internal/core") },
+	Run:   runDHTErrors,
+}
+
+func runDHTErrors(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+					if name, pos := dhtErrorResult(info, call); pos >= 0 {
+						pass.Reportf(call.Pos(), "result of %s includes an error that is discarded; classify it (errors.Is) or propagate it", name)
+					}
+				}
+			case *ast.AssignStmt:
+				// Multi-value form: x, err := f(). Single-RHS only; the
+				// tuple-destructuring case is the one that matters here.
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, pos := dhtErrorResult(info, call)
+				if pos < 0 || pos >= len(stmt.Lhs) {
+					return true
+				}
+				if id, ok := stmt.Lhs[pos].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(id.Pos(), "error from %s assigned to _; classify it (errors.Is) or propagate it", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// dhtErrorResult reports whether call invokes a function or interface
+// method defined in internal/dht or internal/faultdht whose results
+// include an error, returning the callee's display name and the error's
+// result index (-1 if not applicable).
+func dhtErrorResult(info *types.Info, call *ast.CallExpr) (string, int) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", -1
+	}
+	path := fn.Pkg().Path()
+	if !pathHasSuffix(path, "internal/dht") && !pathHasSuffix(path, "internal/faultdht") {
+		return "", -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", -1
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok {
+			if named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				return fn.Pkg().Name() + "." + fn.Name(), i
+			}
+		}
+	}
+	return "", -1
+}

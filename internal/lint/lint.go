@@ -1,0 +1,225 @@
+// Package lint implements dhslint, the repository's custom static-analysis
+// suite. The headline guarantees of this reproduction — byte-identical
+// experiment tables at any -workers count, seeded-PCG-only randomness, and
+// failure-aware counting that never silently drops typed DHT errors — are
+// behavioral invariants that example-based tests can only spot-check. The
+// analyzers here enforce them mechanically over the whole tree (DESIGN.md
+// §10):
+//
+//   - determinism: no wall-clock time and no process-global randomness in
+//     library and command code; all random streams must flow from explicit
+//     seeds.
+//   - maporder: no order-sensitive accumulation or output inside `range`
+//     over a map in the table-rendering layers.
+//   - dhterrors: DHT and fault-overlay errors in internal/core must be
+//     propagated or classified, never discarded.
+//   - panicmsg: invariant panics are constant strings prefixed with the
+//     package name ("sim: ...", "hashutil: ...").
+//   - lockedcopy: no by-value copies of live mutex- or atomic-bearing
+//     structs (core.Store, sim.Traffic, dht.Counters) outside snapshot
+//     helpers.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic, testdata golden tests) but is built only on
+// the standard library so the module stays dependency-free.
+//
+// Intentional violations are suppressed with an annotation on the same
+// line or the line directly above:
+//
+//	//dhslint:allow determinism(reason for the exception)
+//
+// The analyzer name and a non-empty reason are both required; a malformed
+// annotation suppresses nothing.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check, mirroring x/tools' analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in //dhslint:allow
+	// annotations.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// Match restricts which packages the analyzer runs on, by import
+	// path. A nil Match runs on every loaded target package. The driver
+	// applies Match; tests bypass it to run fixtures directly.
+	Match func(pkgPath string) bool
+
+	// Run performs the check on one package and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one package, plus the full load set
+// for cross-package inspection (e.g. lockedcopy's guarded-type scan).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	// All is every package loaded for this run — targets and their
+	// module-internal dependencies — in dependency order.
+	All []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// allowRE matches a well-formed suppression: the analyzer name and a
+// non-empty parenthesized reason.
+var allowRE = regexp.MustCompile(`^//dhslint:allow ([a-z]+)\((.+)\)\s*$`)
+
+// allowedLines returns, per analyzer name, the set of file lines whose
+// findings are suppressed: the line the annotation sits on and, for
+// full-line comments, the line below it.
+func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[lineKey]bool {
+	out := map[string]map[lineKey]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				name := m[1]
+				if out[name] == nil {
+					out[name] = map[lineKey]bool{}
+				}
+				pos := fset.Position(c.Pos())
+				out[name][lineKey{pos.Filename, pos.Line}] = true
+				out[name][lineKey{pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return out
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// Run executes the analyzers over the target packages, applies
+// //dhslint:allow suppression, and returns the surviving findings sorted
+// by position. Analyzer Match filters are consulted only when useMatch is
+// set (the driver); golden tests run every analyzer on every fixture.
+func Run(analyzers []*Analyzer, pkgs []*Package, useMatch bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := allowedLines(pkg.Fset, pkg.Syntax)
+		for _, a := range analyzers {
+			if useMatch && a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			var raw []Diagnostic
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, All: pkg.all, diags: &raw}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range raw {
+				if allowed[a.Name][lineKey{d.Pos.Filename, d.Pos.Line}] {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		MapOrderAnalyzer,
+		DHTErrorsAnalyzer,
+		PanicMsgAnalyzer,
+		LockedCopyAnalyzer,
+	}
+}
+
+// --- shared type/AST helpers used by several analyzers ---
+
+// pkgNameOf resolves an identifier to the package it names via an import,
+// or nil.
+func pkgNameOf(info *types.Info, e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := info.Uses[id].(*types.PkgName)
+	return pn
+}
+
+// calleeFunc resolves a call expression to the function or method object
+// it invokes, or nil (builtins, function-typed variables, conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// pathHasSuffix reports whether an import path is pkg or ends in "/pkg" —
+// matching both the real module layout ("dhsketch/internal/dht") and the
+// GOPATH-style fixture layout used by the golden tests.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// constString returns the compile-time string value of e, if it has one.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

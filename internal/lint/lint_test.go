@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dhsketch/internal/lint"
+	"dhsketch/internal/lint/linttest"
+)
+
+const testdata = "testdata"
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, testdata, lint.DeterminismAnalyzer, "determinism/a")
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, testdata, lint.MapOrderAnalyzer, "maporder/a")
+}
+
+func TestDHTErrors(t *testing.T) {
+	linttest.Run(t, testdata, lint.DHTErrorsAnalyzer, "dhsketch/internal/core")
+}
+
+func TestPanicMsg(t *testing.T) {
+	linttest.Run(t, testdata, lint.PanicMsgAnalyzer, "panicmsg/a")
+}
+
+func TestLockedCopy(t *testing.T) {
+	linttest.Run(t, testdata, lint.LockedCopyAnalyzer, "lockedcopy/a")
+}
+
+// TestPlantedPositions pins that one deliberately planted violation per
+// analyzer is reported at its exact file:line:column.
+func TestPlantedPositions(t *testing.T) {
+	linttest.MustFindAt(t, testdata, lint.DeterminismAnalyzer, "determinism/planted", "planted.go", 7, 9)
+	linttest.MustFindAt(t, testdata, lint.MapOrderAnalyzer, "maporder/planted", "planted.go", 7, 2)
+	linttest.MustFindAt(t, testdata, lint.DHTErrorsAnalyzer, "dhsketch/internal/core", "core.go", 15, 2)
+	linttest.MustFindAt(t, testdata, lint.PanicMsgAnalyzer, "panicmsg/planted", "planted.go", 5, 14)
+	linttest.MustFindAt(t, testdata, lint.LockedCopyAnalyzer, "lockedcopy/planted", "planted.go", 10, 27)
+}
+
+// TestPlantedHaveWants keeps the planted fixtures honest as golden files
+// too: the planted packages must pass the want-comment comparison.
+func TestPlantedHaveWants(t *testing.T) {
+	linttest.Run(t, testdata, lint.MapOrderAnalyzer, "maporder/planted")
+	linttest.Run(t, testdata, lint.LockedCopyAnalyzer, "lockedcopy/planted")
+}
+
+// TestMatchScopes pins the driver-side package scoping.
+func TestMatchScopes(t *testing.T) {
+	cases := []struct {
+		analyzer *lint.Analyzer
+		path     string
+		want     bool
+	}{
+		{lint.MapOrderAnalyzer, "dhsketch/internal/experiments", true},
+		{lint.MapOrderAnalyzer, "dhsketch/internal/stats", true},
+		{lint.MapOrderAnalyzer, "dhsketch/cmd/dhsbench", true},
+		{lint.MapOrderAnalyzer, "dhsketch/internal/core", false},
+		{lint.DHTErrorsAnalyzer, "dhsketch/internal/core", true},
+		{lint.DHTErrorsAnalyzer, "dhsketch/internal/sim", false},
+		{lint.PanicMsgAnalyzer, "dhsketch/internal/hashutil", true},
+		{lint.PanicMsgAnalyzer, "dhsketch/cmd/calibrate", false},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.Match(c.path); got != c.want {
+			t.Errorf("%s.Match(%q) = %v, want %v", c.analyzer.Name, c.path, got, c.want)
+		}
+	}
+}

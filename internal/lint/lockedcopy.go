@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockedCopyAnalyzer extends vet's copylocks to the repository's shared
+// counter structs. Two families of types must not be copied by value
+// from live shared state:
+//
+//   - mutex holders (core.Store and anything transitively containing a
+//     sync.Mutex/RWMutex/WaitGroup/Once/Cond): a copy duplicates the
+//     lock word, so the copy's lock no longer guards anything;
+//   - atomic-field structs (sim.Traffic, dht.Counters): their int64
+//     fields are mutated via sync/atomic while concurrent counting
+//     passes run, so a plain struct copy tears — each field is read at
+//     a different moment. vet cannot see this because the fields are
+//     plain integers; the types are marked with a //dhslint:guard line
+//     in their doc comment, and structs with sync/atomic-typed fields
+//     are detected structurally.
+//
+// Flagged: assignments, call arguments, returns, and range-value copies
+// whose *source* is live shared state (reached through a pointer, a
+// package-level variable, or a container element). Value-to-value flows
+// of snapshots (e.g. Traffic.Sub results) are fine and not flagged.
+// Mutex holders are additionally banned as by-value parameters,
+// results, and receivers. Use a pointer, or an atomic Snapshot method.
+var LockedCopyAnalyzer = &Analyzer{
+	Name: "lockedcopy",
+	Doc:  "forbid by-value copies of mutex- or atomic-bearing structs from live shared state",
+	Run:  runLockedCopy,
+}
+
+type guardKind int
+
+const (
+	guardNone guardKind = iota
+	guardAtomic
+	guardMutex // dominates: a mutex holder is also unsafe as a snapshot
+)
+
+func (k guardKind) String() string {
+	if k == guardMutex {
+		return "a mutex"
+	}
+	return "atomically updated fields"
+}
+
+// guardCatalog resolves which named struct types are guarded, combining
+// the //dhslint:guard markers collected from every loaded package with
+// structural detection of sync / sync/atomic fields.
+type guardCatalog struct {
+	marked map[types.Object]bool
+	memo   map[types.Type]guardKind
+}
+
+func newGuardCatalog(all []*Package) *guardCatalog {
+	c := &guardCatalog{marked: map[types.Object]bool{}, memo: map[types.Type]guardKind{}}
+	for _, pkg := range all {
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if hasGuardMarker(gd.Doc) || hasGuardMarker(ts.Doc) || hasGuardMarker(ts.Comment) {
+						if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+							c.marked[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+func hasGuardMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, "//dhslint:guard") {
+			return true
+		}
+	}
+	return false
+}
+
+// kind classifies t, following named types, struct fields, and arrays.
+func (c *guardCatalog) kind(t types.Type) guardKind {
+	if k, ok := c.memo[t]; ok {
+		return k
+	}
+	c.memo[t] = guardNone // cycle breaker
+	k := c.computeKind(t)
+	c.memo[t] = k
+	return k
+}
+
+func (c *guardCatalog) computeKind(t types.Type) guardKind {
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+					return guardMutex
+				}
+				return guardNone
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Value", "Pointer":
+					return guardAtomic
+				}
+				return guardNone
+			}
+		}
+		k := c.kind(tt.Underlying())
+		if k < guardAtomic && c.marked[obj] {
+			k = guardAtomic
+		}
+		return k
+	case *types.Struct:
+		k := guardNone
+		for i := 0; i < tt.NumFields(); i++ {
+			if fk := c.kind(tt.Field(i).Type()); fk > k {
+				k = fk
+			}
+		}
+		return k
+	case *types.Array:
+		return c.kind(tt.Elem())
+	}
+	return guardNone
+}
+
+func runLockedCopy(pass *Pass) error {
+	info := pass.Pkg.Info
+	cat := newGuardCatalog(pass.All)
+
+	guardedType := func(e ast.Expr) (types.Type, guardKind) {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return nil, guardNone
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			return nil, guardNone
+		}
+		return tv.Type, cat.kind(tv.Type)
+	}
+
+	// checkCopy flags e when it both has a guarded type and reads live
+	// shared state.
+	checkCopy := func(e ast.Expr, what string) {
+		t, k := guardedType(e)
+		if k == guardNone || !exprIsLive(info, e) {
+			return
+		}
+		pass.Reportf(e.Pos(), "%s copies %s, which holds %s; take a pointer or use an atomic Snapshot", what, types.TypeString(t, types.RelativeTo(pass.Pkg.Types)), k)
+	}
+
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				if len(stmt.Lhs) == len(stmt.Rhs) {
+					for _, rhs := range stmt.Rhs {
+						checkCopy(rhs, "assignment")
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range stmt.Values {
+					checkCopy(v, "declaration")
+				}
+			case *ast.CallExpr:
+				for _, arg := range stmt.Args {
+					checkCopy(arg, "call argument")
+				}
+				// A value-receiver method on a live guarded value copies
+				// the receiver: env.Traffic.Sub(x) tears just like
+				// s := env.Traffic would.
+				if sel, ok := ast.Unparen(stmt.Fun).(*ast.SelectorExpr); ok {
+					if msel, ok := info.Selections[sel]; ok && msel.Kind() == types.MethodVal {
+						if sig, ok := msel.Obj().Type().(*types.Signature); ok && sig.Recv() != nil {
+							if _, ptr := sig.Recv().Type().(*types.Pointer); !ptr {
+								checkCopy(sel.X, "value-receiver method call")
+							}
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range stmt.Results {
+					checkCopy(res, "return")
+				}
+			case *ast.RangeStmt:
+				// The value variable is a defining ident under :=, so its
+				// type lives in Defs rather than the expression Types map.
+				if t := rangeValueType(info, stmt.Value); t != nil {
+					if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+						if k := cat.kind(t); k != guardNone {
+							pass.Reportf(stmt.Value.Pos(), "range copies %s elements, which hold %s; range over indices or pointers", types.TypeString(t, types.RelativeTo(pass.Pkg.Types)), k)
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				checkSignature(pass, cat, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSignature bans mutex holders as by-value receivers, parameters,
+// and results. Atomic-field structs are allowed here: their snapshots
+// travel by value on purpose (Traffic.Sub, Traffic.Add).
+func checkSignature(pass *Pass, cat *guardCatalog, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Pkg.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if cat.kind(tv.Type) == guardMutex {
+				pass.Reportf(field.Type.Pos(), "by-value %s of type %s carries a mutex; use a pointer", what, types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types)))
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	if fd.Type != nil {
+		check(fd.Type.Params, "parameter")
+		check(fd.Type.Results, "result")
+	}
+}
+
+// rangeValueType resolves the type of a range statement's value
+// variable, or nil for absent or blank values.
+func rangeValueType(info *types.Info, value ast.Expr) types.Type {
+	if value == nil {
+		return nil
+	}
+	if id, ok := value.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		return nil
+	}
+	if tv, ok := info.Types[value]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// exprIsLive reports whether e reads live shared state: anything reached
+// through a pointer dereference, a package-level variable, or a
+// container element. Plain local value variables and call results are
+// snapshots and are not live.
+func exprIsLive(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		return true
+	case *ast.SelectorExpr:
+		if pn := pkgNameOf(info, x.X); pn != nil {
+			// Qualified reference to another package's variable: shared.
+			_, isVar := info.Uses[x.Sel].(*types.Var)
+			return isVar
+		}
+		if sel, ok := info.Selections[x]; ok && sel.Indirect() {
+			return true
+		}
+		return exprIsLive(info, x.X)
+	case *ast.Ident:
+		obj, ok := info.Uses[x].(*types.Var)
+		if !ok {
+			return false
+		}
+		// Package-level variables are shared between goroutines.
+		return obj.Parent() == obj.Pkg().Scope()
+	}
+	return false
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrderAnalyzer guards the byte-identical-tables guarantee: Go's map
+// iteration order is deliberately randomized, so a `range` over a map
+// whose body accumulates into a slice, writes output, or folds into an
+// order-sensitive scalar (string or float — float addition does not
+// commute bit-exactly) produces run-to-run different bytes. In the
+// table-rendering layers (internal/experiments, internal/stats, cmd/...)
+// such loops must iterate a sorted key slice instead.
+//
+// The canonical fix is recognized and not flagged: appending map keys to
+// a slice is fine when the same slice is passed to a sort or slices call
+// later in the function (the "intervening sort"). Output writes and
+// string/float accumulation inside the loop are always flagged — no
+// later sort can reorder bytes already written. Order-insensitive bodies
+// (integer accumulation, set membership, per-key map writes) are not
+// flagged.
+var MapOrderAnalyzer = &Analyzer{
+	Name:  "maporder",
+	Doc:   "forbid order-sensitive accumulation or output inside range-over-map",
+	Match: matchMapOrder,
+	Run:   runMapOrder,
+}
+
+func matchMapOrder(path string) bool {
+	return pathHasSuffix(path, "internal/experiments") ||
+		pathHasSuffix(path, "internal/stats") ||
+		strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/")
+}
+
+func runMapOrder(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				reason, appended := orderSensitiveUse(info, rng)
+				if reason == "" {
+					return true
+				}
+				if appended != nil && sortedAfter(info, fd.Body, appended, rng.End()) {
+					return true // collect-then-sort: the canonical fix
+				}
+				pass.Reportf(rng.Pos(), "range over map %s; iterate a sorted key slice instead", reason)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// orderSensitiveUse scans the loop body for operations whose result
+// depends on iteration order. It returns a description of the first one
+// found ("" if none) and, when that operation is an append into an
+// outer slice, the slice variable — the caller checks for a later sort.
+func orderSensitiveUse(info *types.Info, rng *ast.RangeStmt) (string, *types.Var) {
+	body := rng.Body
+	outerVar := func(e ast.Expr) *types.Var {
+		root := ast.Unparen(e)
+		for {
+			switch x := root.(type) {
+			case *ast.ParenExpr:
+				root = x.X
+			case *ast.SelectorExpr:
+				root = x.X
+			case *ast.IndexExpr:
+				root = x.X
+			case *ast.StarExpr:
+				root = x.X
+			default:
+				id, ok := root.(*ast.Ident)
+				if !ok {
+					return nil
+				}
+				obj := info.Uses[id]
+				if obj == nil {
+					obj = info.Defs[id]
+				}
+				v, ok := obj.(*types.Var)
+				if !ok {
+					return nil
+				}
+				if v.Pos() >= body.Lbrace && v.Pos() <= body.Rbrace {
+					return nil // declared inside the loop body
+				}
+				return v
+			}
+		}
+	}
+
+	var reason string
+	var appended *types.Var
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch stmt := n.(type) {
+		case *ast.CallExpr:
+			if isOutputCall(stmt) {
+				reason = "writes output"
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range stmt.Lhs {
+				v := outerVar(lhs)
+				if v == nil {
+					continue
+				}
+				// append into a variable living outside the loop makes
+				// the element order follow the map order.
+				if i < len(stmt.Rhs) && isAppendCall(info, stmt.Rhs[i]) {
+					reason = "appends to a slice declared outside the loop"
+					appended = v
+					return false
+				}
+				// Accumulating a string or float outside the loop is
+				// order-sensitive (string concatenation trivially; float
+				// addition is not bit-exactly commutative).
+				if stmt.Tok == token.ADD_ASSIGN || stmt.Tok == token.SUB_ASSIGN || stmt.Tok == token.MUL_ASSIGN {
+					if tv, ok := info.Types[lhs]; ok {
+						if b, ok := tv.Type.Underlying().(*types.Basic); ok {
+							if b.Info()&(types.IsString|types.IsFloat) != 0 {
+								reason = "accumulates a " + b.Name() + " declared outside the loop"
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return reason, appended
+}
+
+func isAppendCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// sortedAfter reports whether v is passed to a sort.* or slices.* call
+// located after pos somewhere in body — the "intervening sort" that
+// makes a collect-from-map loop deterministic.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, v *types.Var, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pn := pkgNameOf(info, sel.X)
+		if pn == nil {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			root := ast.Unparen(arg)
+			if u, ok := root.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				root = ast.Unparen(u.X)
+			}
+			if id, ok := root.(*ast.Ident); ok && info.Uses[id] == v {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// outputFuncNames are function or method names whose call emits bytes in
+// call order: stream writers and printers.
+var outputFuncNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func isOutputCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return outputFuncNames[sel.Sel.Name]
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicMsgAnalyzer pins the repository's panic-message convention for
+// invariant violations in internal packages: the argument must be a
+// compile-time string constant prefixed with the package name ("sim:
+// clock cannot move backwards", "hashutil: Thr out of range"), or a
+// fmt.Sprintf whose constant format string carries the same prefix.
+// Grep-ability is the point — a panic message always names the package
+// that gave up, and the prefix is machine-checked so the convention
+// survives refactors.
+var PanicMsgAnalyzer = &Analyzer{
+	Name:  "panicmsg",
+	Doc:   "invariant panics must be constant strings prefixed with the package name",
+	Match: func(path string) bool { return strings.Contains(path, "internal/") },
+	Run:   runPanicMsg,
+}
+
+func runPanicMsg(pass *Pass) error {
+	info := pass.Pkg.Info
+	prefix := pass.Pkg.Types.Name() + ": "
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+
+			// Accept fmt.Sprintf("pkg: ...", args...) for panics that
+			// interpolate state; the prefix rule applies to the format.
+			if inner, ok := arg.(*ast.CallExpr); ok {
+				if fn := calleeFunc(info, inner); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "fmt" && fn.Name() == "Sprintf" && len(inner.Args) > 0 {
+					if format, isConst := constString(info, inner.Args[0]); isConst {
+						if !strings.HasPrefix(format, prefix) {
+							pass.Reportf(call.Pos(), "panic format %q must start with %q", format, prefix)
+						}
+						return true
+					}
+					pass.Reportf(call.Pos(), "panic format must be a constant string starting with %q", prefix)
+					return true
+				}
+			}
+
+			msg, isConst := constString(info, arg)
+			if !isConst {
+				pass.Reportf(call.Pos(), "panic argument must be a constant string starting with %q", prefix)
+				return true
+			}
+			if !strings.HasPrefix(msg, prefix) {
+				pass.Reportf(call.Pos(), "panic message %q must start with %q", msg, prefix)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package a exercises the determinism analyzer: wall-clock reads,
+// process-global math/rand/v2 functions, the math/rand (v1) import ban,
+// the seeded-stream pattern that must stay silent, and the
+// //dhslint:allow escape hatch.
+package a
+
+import (
+	"fmt"
+	mrand "math/rand" // want `import of math/rand \(v1\)`
+	"math/rand/v2"
+	"time"
+)
+
+// seeded streams are the approved pattern and carry no findings.
+func seeded() float64 {
+	rng := rand.New(rand.NewPCG(1, 2))
+	return rng.Float64()
+}
+
+func wallClock() {
+	t0 := time.Now()             // want `time.Now reads the wall clock`
+	fmt.Println(time.Since(t0))  // want `time.Since reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+}
+
+func allowed() int64 {
+	//dhslint:allow determinism(fixture: annotated wall-clock site stays silent)
+	return time.Now().Unix()
+}
+
+func globalRand() int {
+	n := rand.IntN(10)                 // want `rand.IntN uses the process-global random source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand.Shuffle uses the process-global random source`
+	return n
+}
+
+// v1 usage is reported once, at the import.
+func v1() *mrand.Rand {
+	return mrand.New(mrand.NewSource(42))
+}

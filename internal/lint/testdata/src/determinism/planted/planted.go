@@ -1,0 +1,7 @@
+// Package planted holds the determinism analyzer's deliberately planted
+// violation; the golden test asserts it is reported at exactly 7:9.
+package planted
+
+import "time"
+
+var T = time.Now()

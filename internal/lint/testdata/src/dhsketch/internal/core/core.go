@@ -1,0 +1,34 @@
+// Package core exercises the dhterrors analyzer: discarded and
+// _-assigned errors from dht/faultdht call sites are flagged; bound,
+// classified, or propagated errors are not. The planted violation on
+// line 15 is asserted at its exact position by the golden test.
+package core
+
+import (
+	"errors"
+
+	"dhsketch/internal/dht"
+	"dhsketch/internal/faultdht"
+)
+
+func discards(o dht.Overlay, n dht.Node) {
+	o.Successor(n)            // want `result of dht.Successor includes an error that is discarded`
+	_ = dht.Ping(n)           // want `error from dht.Ping assigned to _`
+	_ = faultdht.Inject()     // want `error from faultdht.Inject assigned to _`
+	node, _, _ := o.Lookup(7) // want `error from dht.Lookup assigned to _`
+	_ = node
+}
+
+// handled binds, classifies, and propagates; nothing is flagged. The
+// blank second result (the hop count) is not an error and stays legal.
+func handled(o dht.Overlay, n dht.Node) (dht.Node, error) {
+	if err := dht.Ping(n); err != nil && !errors.Is(err, dht.ErrTimeout) {
+		return nil, err
+	}
+	node, _, err := o.Lookup(9)
+	if err != nil {
+		return nil, err
+	}
+	_ = dht.Size(o) // error-free result; ignoring it is fine
+	return node, nil
+}

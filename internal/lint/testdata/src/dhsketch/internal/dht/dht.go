@@ -1,0 +1,27 @@
+// Package dht is a miniature stand-in for the real overlay abstraction,
+// just enough surface for the dhterrors golden tests: interface methods
+// and package functions whose results include an error.
+package dht
+
+import "errors"
+
+var ErrTimeout = errors.New("dht: operation timed out")
+
+type Node interface {
+	ID() uint64
+}
+
+type Overlay interface {
+	Lookup(key uint64) (Node, int, error)
+	Successor(n Node) (Node, error)
+}
+
+func Ping(n Node) error {
+	if n == nil {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// Size returns no error; calls to it must never be flagged.
+func Size(o Overlay) int { return 0 }

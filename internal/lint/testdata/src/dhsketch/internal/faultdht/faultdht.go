@@ -1,0 +1,7 @@
+// Package faultdht is a miniature stand-in for the fault-injection
+// overlay, exercising the dhterrors analyzer's second package match.
+package faultdht
+
+import "errors"
+
+func Inject() error { return errors.New("faultdht: injected") }

@@ -1,0 +1,95 @@
+// Package a exercises the lockedcopy analyzer: by-value copies of
+// mutex holders and of marked or structurally atomic structs from live
+// shared state are flagged; value-to-value snapshot flows are not.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Store is a mutex holder: never copyable, never a by-value parameter.
+type Store struct {
+	mu sync.Mutex
+	m  map[int]int
+}
+
+// Traffic mimics the real sim.Traffic: plain int64 fields mutated via
+// sync/atomic, invisible to vet's copylocks. The marker below opts it
+// into lockedcopy.
+//
+//dhslint:guard
+type Traffic struct {
+	Messages int64
+	Hops     int64
+}
+
+// Sub is a value-receiver snapshot operation; calling it on values is
+// fine, calling it on live shared state is a torn read.
+func (t Traffic) Sub(o Traffic) Traffic {
+	return Traffic{Messages: t.Messages - o.Messages, Hops: t.Hops - o.Hops}
+}
+
+// Gauge is structurally atomic (an atomic.Int64 field): detected with
+// no marker needed.
+type Gauge struct {
+	N atomic.Int64
+}
+
+type Env struct {
+	T Traffic
+}
+
+var global Traffic
+
+func copyThroughPointer(e *Env) Traffic {
+	snap := e.T // want `assignment copies Traffic`
+	return snap
+}
+
+func returnGlobal() Traffic {
+	return global // want `return copies Traffic`
+}
+
+func derefStore(s *Store) {
+	dup := *s // want `assignment copies Store`
+	_ = dup
+}
+
+func passStore(s Store) {} // want `by-value parameter of type Store carries a mutex`
+
+func passLive(e *Env) {
+	consume(e.T) // want `call argument copies Traffic`
+}
+
+func consume(t Traffic) {} // atomic snapshots may travel by value
+
+func liveReceiver(e *Env) Traffic {
+	return e.T.Sub(Traffic{}) // want `value-receiver method call copies Traffic`
+}
+
+func valueFlows(t Traffic) Traffic {
+	u := t          // local value to value: fine
+	return u.Sub(t) // value receiver on a local value: fine
+}
+
+func rangeCopies(ts []Traffic) {
+	for _, t := range ts { // want `range copies Traffic elements`
+		_ = t
+	}
+}
+
+func rangeIndices(ts []Traffic) {
+	for i := range ts { // indices only: fine
+		_ = i
+	}
+}
+
+func copyGauge(g *Gauge) Gauge {
+	return *g // want `return copies Gauge`
+}
+
+func allowed(e *Env) Traffic {
+	//dhslint:allow lockedcopy(fixture: single-threaded at this point)
+	return e.T
+}

@@ -1,0 +1,10 @@
+// Package planted holds the lockedcopy analyzer's deliberately planted
+// violation; the golden test asserts the dereferencing copy on line 10
+// is reported at exactly 10:27.
+package planted
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func Dup(p *S) S { return *p } // want `by-value result of type S carries a mutex` `return copies S`

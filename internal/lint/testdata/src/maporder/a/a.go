@@ -1,0 +1,78 @@
+// Package a exercises the maporder analyzer: order-sensitive map-range
+// bodies (slice append, output writes, float/string accumulation), the
+// collect-then-sort pattern that must stay silent, and order-insensitive
+// loops that must not be flagged.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// unsortedKeys leaks map order into a slice and never sorts it.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to a slice declared outside the loop`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys is the canonical fix: collect, sort, iterate. Not flagged.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// render writes rows straight out of map order; no later sort can help.
+func render(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `writes output`
+		fmt.Fprintf(w, "%s\t%d\n", k, v)
+	}
+}
+
+// build concatenates in map order.
+func build(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m { // want `writes output`
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// meanError folds floats in map order: float addition is not bit-exactly
+// commutative, so the table bytes could differ run to run.
+func meanError(errs map[string]float64) float64 {
+	var sum float64
+	for _, e := range errs { // want `accumulates a float64 declared outside the loop`
+		sum += e
+	}
+	return sum / float64(len(errs))
+}
+
+// histogram is order-insensitive (integer adds, per-key writes): silent.
+func histogram(m map[string]int) (int, map[string]bool) {
+	total := 0
+	seen := map[string]bool{}
+	for k, v := range m {
+		total += v
+		seen[k] = true
+	}
+	return total, seen
+}
+
+// allowed demonstrates the escape hatch.
+func allowed(m map[string]int) []string {
+	var keys []string
+	//dhslint:allow maporder(fixture: order does not matter downstream)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,11 @@
+// Package planted holds the maporder analyzer's deliberately planted
+// violation; the golden test asserts it is reported at exactly 7:2.
+package planted
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to a slice declared outside the loop`
+		out = append(out, k)
+	}
+	return out
+}

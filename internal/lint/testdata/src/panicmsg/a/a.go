@@ -1,0 +1,24 @@
+// Package a exercises the panicmsg analyzer: invariant panics must be
+// constant strings (or constant Sprintf formats) prefixed with the
+// package name, "a: " here.
+package a
+
+import "fmt"
+
+const msg = "a: constant ident is fine"
+
+func ok()           { panic("a: invariant broken") }
+func okConstIdent() { panic(msg) }
+func okFmt(x int)   { panic(fmt.Sprintf("a: bad x=%d", x)) }
+
+func wrongPrefix()       { panic("b: wrong package") }         // want `panic message "b: wrong package" must start with "a: "`
+func bareFmt(x int)      { panic(fmt.Sprintf("bad x=%d", x)) } // want `panic format "bad x=%d" must start with "a: "`
+func nonConst(err error) { panic(err) }                        // want `panic argument must be a constant string starting with "a: "`
+func nonConstFmt(s string) {
+	panic(fmt.Sprintf(s, 1)) // want `panic format must be a constant string starting with "a: "`
+}
+
+func allowed(err error) {
+	//dhslint:allow panicmsg(fixture: impossible branch keeps the raw error)
+	panic(err)
+}

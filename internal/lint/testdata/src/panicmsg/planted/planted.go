@@ -1,0 +1,5 @@
+// Package planted holds the panicmsg analyzer's deliberately planted
+// violation; the golden test asserts it is reported at exactly 5:14.
+package planted
+
+func Bad() { panic("boom") }

@@ -85,6 +85,63 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// mustPanicWith runs f and asserts it panics with exactly msg, pinning
+// the "stats: ..." prefix convention the panicmsg analyzer enforces.
+func mustPanicWith(t *testing.T, msg string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic, want %q", msg)
+			return
+		}
+		if got, ok := r.(string); !ok || got != msg {
+			t.Errorf("panic = %v, want %q", r, msg)
+		}
+	}()
+	f()
+}
+
+func TestRMSEEdgeCases(t *testing.T) {
+	if got := RMSE(nil, nil); got != 0 {
+		t.Errorf("RMSE(nil, nil) = %v, want 0", got)
+	}
+	if got := RMSE([]float64{}, []float64{}); got != 0 {
+		t.Errorf("RMSE of empty slices = %v, want 0", got)
+	}
+	mustPanicWith(t, "stats: RMSE slice length mismatch", func() {
+		RMSE([]float64{1, 2}, []float64{1})
+	})
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil, 50) = %v, want 0", got)
+	}
+	// The emptiness check precedes the range check, so an out-of-range p
+	// on an empty slice is still 0, not a panic.
+	if got := Percentile(nil, 200); got != 0 {
+		t.Errorf("Percentile(nil, 200) = %v, want 0", got)
+	}
+	for _, p := range []float64{0, 37.5, 100} {
+		if got := Percentile([]float64{42}, p); got != 42 {
+			t.Errorf("single-element p%v = %v, want 42", p, got)
+		}
+	}
+	mustPanicWith(t, "stats: percentile out of [0,100]", func() {
+		Percentile([]float64{1}, -0.5)
+	})
+	mustPanicWith(t, "stats: percentile out of [0,100]", func() {
+		Percentile([]float64{1}, 100.5)
+	})
+}
+
+func TestGiniNegativeLoad(t *testing.T) {
+	mustPanicWith(t, "stats: negative load", func() {
+		Gini([]float64{3, -1, 2})
+	})
+}
+
 func TestPercentileMonotone(t *testing.T) {
 	f := func(raw []float64, a, b uint8) bool {
 		xs := make([]float64, 0, len(raw))
