@@ -4,14 +4,22 @@
 //
 // Usage:
 //
-//	dhsbench [-experiment all|e1|...|e12|e12f] [-nodes 1024] [-scale 100]
+//	dhsbench [-experiment all|e1|...|e12|e12f|e13] [-nodes 1024] [-scale 100]
 //	         [-m 512] [-trials 20] [-buckets 100] [-seed 1] [-lim 5]
-//	         [-workers N]
+//	         [-workers N] [-trace file.jsonl] [-tracebuf N]
+//	         [-cpuprofile file] [-memprofile file]
 //
 // Sweep-style experiments (e3, e4, e8, e12f) fan their independent cells
 // across -workers goroutines (default: one per CPU). Every cell builds
 // its own deterministic world from -seed, so the printed tables are
 // byte-for-byte identical at any worker count.
+//
+// Observability: -trace streams every simulation event (lookups, probes,
+// walk steps, stores, expiries, injected faults) to a JSONL file; with
+// -workers 1 the file is byte-identical across runs. -tracebuf N keeps
+// the last N events in a ring buffer and dumps them to stderr when an
+// experiment fails — a flight recorder for debugging. -cpuprofile and
+// -memprofile write standard runtime/pprof profiles for `go tool pprof`.
 //
 // The default scale divides the paper's 10–80 M-tuple relations by 100,
 // keeping a full run under a minute. For paper-faithful counting accuracy
@@ -24,10 +32,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"dhsketch/internal/experiments"
+	"dhsketch/internal/obs"
 )
 
 func main() {
@@ -41,8 +52,27 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "master PRNG seed (default 1)")
 		lim     = flag.Int("lim", 0, "probe retries per interval (default 5)")
 		workers = flag.Int("workers", 0, "parallel experiment cells (default: one per CPU); results are identical at any value")
+
+		traceFile  = flag.String("trace", "", "write a JSONL event trace to this file (deterministic with -workers 1)")
+		traceBuf   = flag.Int("tracebuf", 0, "keep the last N events in memory; dumped to stderr if an experiment fails")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	p := experiments.Params{
 		Seed:    *seed,
@@ -54,6 +84,25 @@ func main() {
 		Trials:  *trials,
 		Workers: *workers,
 	}
+
+	var sinks []obs.Tracer
+	var jsonl *obs.JSONL
+	var ring *obs.Ring
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONL(f)
+		sinks = append(sinks, jsonl)
+	}
+	if *traceBuf > 0 {
+		ring = obs.NewRing(*traceBuf)
+		sinks = append(sinks, ring)
+	}
+	p.Tracer = obs.Multi(sinks...)
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(strings.ToLower(*exp), ",") {
@@ -171,6 +220,44 @@ func main() {
 			r.Render(os.Stdout)
 			return nil
 		}},
+		{"e13", "load balance: per-node access and storage distributions (Table 3, constraint 3)", func() error {
+			r, err := experiments.RunE13(p)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
+	}
+
+	// finish flushes the trace file; fail additionally dumps the ring
+	// buffer — the flight recorder's whole point is the moments before a
+	// failure.
+	finish := func() {
+		if jsonl != nil {
+			if err := jsonl.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			}
+		}
+	}
+	fail := func(code int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format, args...)
+		if ring != nil {
+			events := ring.Events()
+			fmt.Fprintf(os.Stderr, "last %d traced events:\n", len(events))
+			dump := obs.NewJSONL(os.Stderr)
+			for _, e := range events {
+				dump.Event(e)
+			}
+			if err := dump.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace dump: %v\n", err)
+			}
+		}
+		finish()
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(code)
 	}
 
 	ran := 0
@@ -182,15 +269,28 @@ func main() {
 		//dhslint:allow determinism(operator-facing elapsed-time display; never enters a table)
 		start := time.Now()
 		if err := r.run(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.name, err)
-			os.Exit(1)
+			fail(1, "%s failed: %v\n", r.name, err)
 		}
 		//dhslint:allow determinism(operator-facing elapsed-time display; never enters a table)
 		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use all, e1..e12, or e12f\n", *exp)
-		os.Exit(2)
+		fail(2, "unknown experiment %q; use all, e1..e13, or e12f\n", *exp)
+	}
+	finish()
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // materialize final live-heap state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -32,14 +32,18 @@
 package dhsketch
 
 import (
+	"io"
+
 	"dhsketch/internal/chord"
 	"dhsketch/internal/core"
 	"dhsketch/internal/dht"
 	"dhsketch/internal/faultdht"
 	"dhsketch/internal/histogram"
+	"dhsketch/internal/obs"
 	"dhsketch/internal/optimizer"
 	"dhsketch/internal/sim"
 	"dhsketch/internal/sketch"
+	"dhsketch/internal/stats"
 )
 
 // Re-exported core types. The DHS handle is a client-side view: all
@@ -126,6 +130,48 @@ type (
 	Plan = optimizer.Plan
 )
 
+// Observability types (internal/obs). A Tracer attached to a Network
+// receives one structured event per lookup, probe, walk step, store,
+// TTL expiry, and injected fault, timestamped in virtual clock ticks.
+// Tracing is strictly opt-in: with no tracer attached the instrumented
+// hot paths pay a single nil check per event site.
+type (
+	// Tracer receives simulation events; implementations must be safe
+	// for concurrent use (all sinks in this package are).
+	Tracer = obs.Tracer
+	// TraceEvent is one structured simulation event.
+	TraceEvent = obs.Event
+	// TraceKind discriminates event types (lookup, probe, store, ...).
+	TraceKind = obs.Kind
+	// TraceRing is a bounded in-memory sink keeping the latest events —
+	// a flight recorder for tests and failure dumps.
+	TraceRing = obs.Ring
+	// TraceAggregator folds events into per-node load distributions,
+	// a per-bit probe heatmap, and a hop histogram.
+	TraceAggregator = obs.Aggregator
+	// LoadReport is a TraceAggregator summary with percentiles and Gini
+	// coefficients — the measured form of the paper's uniform-load claim.
+	LoadReport = obs.LoadReport
+	// CountersSummary distributes the nodes' own load counters.
+	CountersSummary = dht.CountersSummary
+	// Distribution is a summarized sample set (mean, percentiles, Gini).
+	Distribution = stats.Distribution
+)
+
+// NewTraceRing returns a flight-recorder sink holding the last capacity
+// events.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRing(capacity) }
+
+// NewTraceJSONL returns a sink streaming events to w as one JSON object
+// per line. Call Flush when done.
+func NewTraceJSONL(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
+
+// NewTraceAggregator returns an aggregating metrics sink.
+func NewTraceAggregator() *TraceAggregator { return obs.NewAggregator() }
+
+// MultiTracer fans events out to several sinks; nil sinks are skipped.
+func MultiTracer(sinks ...Tracer) Tracer { return obs.Multi(sinks...) }
+
 // Network bundles a deterministic simulation environment with a
 // Chord-like overlay — everything a DHS needs to run in-process. For a
 // real deployment, implement the Overlay interface over your DHT and
@@ -161,6 +207,21 @@ func (n *Network) TrafficTotal() Traffic { return n.Env.Traffic.Snapshot() }
 
 // FailNodes crashes k random nodes (their soft state is lost).
 func (n *Network) FailNodes(k int) { n.Ring.FailRandom(k) }
+
+// AttachTracer attaches (or, with nil, detaches) an observability sink:
+// every subsequent lookup, probe, walk step, store, expiry, and injected
+// fault on this network streams to it. Attach before starting operations
+// — the sink reference is read without synchronization by concurrent
+// counting passes.
+func (n *Network) AttachTracer(t Tracer) { n.Env.SetTracer(t) }
+
+// LoadSummary distributes the nodes' load counters (messages routed,
+// probes answered, stores handled) across the overlay — the measured
+// form of the paper's uniform-load constraint. It needs no tracer: the
+// counters are always on.
+func (n *Network) LoadSummary() CountersSummary {
+	return dht.SummarizeCounters(n.Ring.Nodes())
+}
 
 // InjectFaults interposes a deterministic fault-injection layer between
 // the overlay and every DHS created afterwards: messages drop with

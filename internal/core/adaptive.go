@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"dhsketch/internal/dht"
+	"dhsketch/internal/obs"
 	"dhsketch/internal/sketch"
 )
 
@@ -74,11 +75,13 @@ func (d *DHS) CountAdaptiveFrom(src dht.Node, metric uint64, p float64) (Estimat
 	states := []*metricState{newMetricState(metric, d.cfg.M)}
 	var cost CountCost
 	var q scanQuality
-	rng := d.countRNG() // the second pass is its own counting pass
+	rng, pass := d.countPass() // the second pass is its own counting pass
+	pt := passTracer{t: d.env.Tracer(), env: d.env, pass: pass}
+	pt.emit(obs.KindCountStart, src.ID(), -1, 1, nil)
 	if d.cfg.Kind == sketch.KindPCSA {
-		cost, q = d.scanAscending(src, states, limFor, rng)
+		cost, q = d.scanAscending(src, states, limFor, rng, &pt)
 	} else {
-		cost, q = d.scanDescending(src, states, limFor, rng)
+		cost, q = d.scanDescending(src, states, limFor, rng, &pt)
 	}
 	cost.add(first.Cost)
 	R := states[0].finalR(d, d.cfg.Kind)

@@ -4,9 +4,37 @@ import (
 	"math/rand/v2"
 
 	"dhsketch/internal/dht"
+	"dhsketch/internal/obs"
 	"dhsketch/internal/sim"
 	"dhsketch/internal/sketch"
 )
+
+// passTracer carries one counting pass's tracing context through the scan
+// helpers. Its zero value (nil sink) is inert: emit performs exactly one
+// nil check and constructs nothing — the entire per-event cost on hot
+// paths when tracing is disabled.
+type passTracer struct {
+	t    obs.Tracer
+	env  *sim.Env
+	pass uint64
+}
+
+// emit records one pass-scoped event; node is 0 when no node was reached
+// and bit is −1 when the event is not interval-specific.
+func (pt *passTracer) emit(kind obs.Kind, node uint64, bit int, arg int64, err error) {
+	if pt.t == nil {
+		return
+	}
+	pt.t.Event(obs.Event{
+		Tick: pt.env.Clock.Now(),
+		Kind: kind,
+		Pass: pt.pass,
+		Node: node,
+		Bit:  int16(bit),
+		Arg:  arg,
+		Err:  obs.Classify(err),
+	})
+}
 
 // Count estimates the cardinality of the metric's multiset from a random
 // querying node (§4, Algorithm 1).
@@ -60,11 +88,13 @@ func (d *DHS) CountAllFrom(src dht.Node, metrics []uint64) ([]Estimate, error) {
 	var cost CountCost
 	var q scanQuality
 	limFor := d.limSchedule()
-	rng := d.countRNG()
+	rng, pass := d.countPass()
+	pt := passTracer{t: d.env.Tracer(), env: d.env, pass: pass}
+	pt.emit(obs.KindCountStart, src.ID(), -1, int64(len(metrics)), nil)
 	if d.cfg.Kind == sketch.KindPCSA {
-		cost, q = d.scanAscending(src, states, limFor, rng)
+		cost, q = d.scanAscending(src, states, limFor, rng, &pt)
 	} else {
-		cost, q = d.scanDescending(src, states, limFor, rng)
+		cost, q = d.scanDescending(src, states, limFor, rng, &pt)
 	}
 
 	ests := make([]Estimate, len(states))
@@ -74,6 +104,13 @@ func (d *DHS) CountAllFrom(src dht.Node, metrics []uint64) ([]Estimate, error) {
 			Value:   d.estimateFromR(R),
 			R:       R,
 			Quality: q.forMetric(st),
+		}
+		if pt.t != nil {
+			pt.t.Event(obs.Event{
+				Tick: d.env.Clock.Now(), Kind: obs.KindCountDone, Pass: pass,
+				Node: src.ID(), Metric: st.metric, Bit: -1,
+				Arg: int64(st.unresolved),
+			})
 		}
 	}
 	// The pass cost is indivisible across metrics (that is the point of
@@ -175,7 +212,7 @@ func (q scanQuality) forMetric(st *metricState) Quality {
 // first set bit seen for a vector is its maximum, R[j]. A skipped
 // interval (all probes failed) can only lose maxima, never invent them,
 // so no special handling is needed beyond recording it.
-func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bit int) int, rng *rand.Rand) (CountCost, scanQuality) {
+func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bit int) int, rng *rand.Rand, pt *passTracer) (CountCost, scanQuality) {
 	var cost CountCost
 	var q scanQuality
 	start := int(d.cfg.K) - 1 // Algorithm 1 scans the full bitmap length
@@ -194,7 +231,7 @@ func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bi
 		if totalUnresolved(states) == 0 {
 			break
 		}
-		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, rng, func(n dht.Node) bool {
+		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, rng, pt, func(n dht.Node) bool {
 			now := d.env.Clock.Now()
 			for _, st := range states {
 				if st.unresolved == 0 {
@@ -225,7 +262,7 @@ func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bi
 // leftmost zero). Unlike the descending scan, declaring a zero requires
 // exhausting the probe budget, which is why DHS-PCSA degrades faster than
 // DHS-sLL when intervals get sparse (§5.2, "Accuracy").
-func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit int) int, rng *rand.Rand) (CountCost, scanQuality) {
+func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit int) int, rng *rand.Rand, pt *passTracer) (CountCost, scanQuality) {
 	var cost CountCost
 	var q scanQuality
 	for bit := int(d.cfg.ShiftBits); bit <= int(d.maxBit); bit++ {
@@ -235,7 +272,7 @@ func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit
 		for _, st := range states {
 			clearBools(st.foundHere)
 		}
-		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, rng, func(n dht.Node) bool {
+		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, rng, pt, func(n dht.Node) bool {
 			now := d.env.Clock.Now()
 			allFound := true
 			for _, st := range states {
@@ -330,7 +367,7 @@ type intervalOutcome struct {
 //
 // All randomness comes from rng, the calling pass's private stream, so
 // concurrent passes neither contend on nor perturb each other.
-func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metricState, rng *rand.Rand, visit func(dht.Node) bool) (CountCost, intervalOutcome) {
+func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metricState, rng *rand.Rand, pt *passTracer, visit func(dht.Node) bool) (CountCost, intervalOutcome) {
 	lo, size := d.intervalForBit(bit)
 
 	var cost CountCost
@@ -353,6 +390,7 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 		cost.Hops += int64(h)
 		cost.Bytes += int64(h) * int64(ProbeReqBytes+respBytes())
 		d.env.Traffic.Account(h, ProbeReqBytes+respBytes())
+		pt.emit(obs.KindProbe, n.ID(), int(bit), int64(h), nil)
 		return visit(n)
 	}
 
@@ -375,9 +413,11 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 		cost.Lookups++
 		out.attempted++
 		if err != nil {
+			pt.emit(obs.KindLookup, 0, int(bit), int64(hops), err)
 			fail(hops)
 			return nil, 0, false
 		}
+		pt.emit(obs.KindLookup, n.ID(), int(bit), int64(hops), nil)
 		return n, hops, true
 	}
 
@@ -410,10 +450,12 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 			next, err := d.overlay.Successor(cur)
 			out.attempted++
 			if err != nil {
+				pt.emit(obs.KindWalkStep, 0, int(bit), 1, err)
 				fail(1)
 				cur = nil // the walk lost its footing; re-enter afresh
 				continue
 			}
+			pt.emit(obs.KindWalkStep, next.ID(), int(bit), 1, nil)
 			if next == home {
 				return cost, out // wrapped all the way around a tiny ring
 			}
@@ -452,10 +494,12 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 	for out.attempted < lim && inIntervalRange(cur.ID(), lo, size) {
 		next, err := d.overlay.Successor(cur)
 		if err != nil {
+			pt.emit(obs.KindWalkStep, 0, int(bit), 1, err)
 			out.attempted++
 			fail(1)
 			break
 		}
+		pt.emit(obs.KindWalkStep, next.ID(), int(bit), 1, nil)
 		if next == home {
 			return cost, out // wrapped all the way around a tiny ring
 		}
@@ -473,10 +517,12 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 	for out.attempted < lim {
 		prev, err := d.overlay.Predecessor(back)
 		if err != nil {
+			pt.emit(obs.KindWalkStep, 0, int(bit), -1, err)
 			out.attempted++
 			fail(1)
 			break
 		}
+		pt.emit(obs.KindWalkStep, prev.ID(), int(bit), -1, nil)
 		if prev == home || !inIntervalRange(prev.ID(), lo, size) {
 			break
 		}

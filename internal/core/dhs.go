@@ -59,14 +59,16 @@ func New(cfg Config) (*DHS, error) {
 	}, nil
 }
 
-// countRNG returns the private random stream for one counting pass. The
-// stream is a pure function of (master seed, pass number), so a
-// sequential sequence of passes is bit-for-bit reproducible, and two
+// countPass allocates a counting pass: its number and its private random
+// stream. The stream is a pure function of (master seed, pass number), so
+// a sequential sequence of passes is bit-for-bit reproducible, and two
 // concurrent passes — which take distinct pass numbers from the atomic
-// counter — never contend on or perturb each other's randomness.
-func (d *DHS) countRNG() *rand.Rand {
+// counter — never contend on or perturb each other's randomness. The pass
+// number also stamps every trace event the pass emits, so interleaved
+// event streams from concurrent passes stay separable.
+func (d *DHS) countPass() (*rand.Rand, uint64) {
 	pass := atomic.AddUint64(&d.countSeq, 1)
-	return rand.New(rand.NewPCG(d.env.Seed(), d.countSalt^pass))
+	return rand.New(rand.NewPCG(d.env.Seed(), d.countSalt^pass)), pass
 }
 
 // Config returns the (defaulted) configuration of the handle.

@@ -4,7 +4,27 @@ import (
 	"fmt"
 
 	"dhsketch/internal/dht"
+	"dhsketch/internal/obs"
 )
+
+// trace emits one event outside any counting pass (insertion and
+// replication are not pass-scoped, so Pass stays 0), stamped with the
+// environment clock. One nil check when tracing is disabled.
+func (d *DHS) trace(kind obs.Kind, node, metric uint64, bit int, arg int64, err error) {
+	t := d.env.Tracer()
+	if t == nil {
+		return
+	}
+	t.Event(obs.Event{
+		Tick:   d.env.Clock.Now(),
+		Kind:   kind,
+		Node:   node,
+		Metric: metric,
+		Bit:    int16(bit),
+		Arg:    arg,
+		Err:    obs.Classify(err),
+	})
+}
 
 // InsertCost itemizes what an insertion consumed.
 type InsertCost struct {
@@ -85,6 +105,7 @@ func (d *DHS) storeBit(src dht.Node, key TupleKey) (InsertCost, error) {
 		home, hops, err := d.overlay.LookupFrom(src, target)
 		if err != nil {
 			lastErr = err
+			d.trace(obs.KindStoreFail, 0, key.Metric, int(key.Bit), int64(hops), err)
 			if hops > 0 {
 				// The request consumed the route before failing.
 				cost.Hops += int64(hops)
@@ -99,8 +120,9 @@ func (d *DHS) storeBit(src dht.Node, key TupleKey) (InsertCost, error) {
 		d.env.Traffic.Account(hops, TupleBytes+MsgHeaderBytes)
 
 		expiry := expiryFor(d.env.Clock.Now(), d.cfg.TTL)
-		storeOf(home).Set(key, expiry)
+		d.storeOf(home).Set(key, expiry)
 		home.Counters().AddStoreOps()
+		d.trace(obs.KindStore, home.ID(), key.Metric, int(key.Bit), 1, nil)
 
 		d.replicate(home, key, expiry, &cost)
 		return cost, nil
@@ -121,13 +143,15 @@ func (d *DHS) replicate(home dht.Node, key TupleKey, expiry int64, cost *InsertC
 			cost.Hops++
 			cost.Bytes += TupleBytes + MsgHeaderBytes
 			d.env.Traffic.Drop(1, TupleBytes+MsgHeaderBytes)
+			d.trace(obs.KindStoreFail, 0, key.Metric, int(key.Bit), int64(d.cfg.Replication-i), err)
 			return
 		}
 		if next == home {
 			return // ring smaller than the replication degree
 		}
-		storeOf(next).Set(key, expiry)
+		d.storeOf(next).Set(key, expiry)
 		next.Counters().AddStoreOps()
+		d.trace(obs.KindReplica, next.ID(), key.Metric, int(key.Bit), int64(i+1), nil)
 		cost.Hops++
 		cost.Bytes += TupleBytes + MsgHeaderBytes
 		d.env.Traffic.Account(1, TupleBytes+MsgHeaderBytes)
@@ -192,6 +216,7 @@ func (d *DHS) BulkInsertFrom(src dht.Node, metric uint64, itemIDs []uint64) (Ins
 			n, hops, err := d.overlay.LookupFrom(src, target)
 			if err != nil {
 				lastErr = err
+				d.trace(obs.KindStoreFail, 0, metric, int(bit), int64(hops), err)
 				if hops > 0 {
 					cost.Hops += int64(hops)
 					cost.Bytes += int64(hops) * int64(msgBytes)
@@ -211,8 +236,9 @@ func (d *DHS) BulkInsertFrom(src dht.Node, metric uint64, itemIDs []uint64) (Ins
 		}
 
 		expiry := expiryFor(d.env.Clock.Now(), d.cfg.TTL)
-		st := storeOf(home)
+		st := d.storeOf(home)
 		home.Counters().AddStoreOps()
+		d.trace(obs.KindStore, home.ID(), metric, int(bit), int64(len(vectors)), nil)
 		for v := range vectors {
 			st.Set(TupleKey{Metric: metric, Vector: v, Bit: bit}, expiry)
 		}
@@ -225,13 +251,15 @@ func (d *DHS) BulkInsertFrom(src dht.Node, metric uint64, itemIDs []uint64) (Ins
 				cost.Hops++
 				cost.Bytes += int64(msgBytes)
 				d.env.Traffic.Drop(1, msgBytes)
+				d.trace(obs.KindStoreFail, 0, metric, int(bit), int64(d.cfg.Replication-i), err)
 				break
 			}
 			if next == home {
 				break
 			}
-			rst := storeOf(next)
+			rst := d.storeOf(next)
 			next.Counters().AddStoreOps()
+			d.trace(obs.KindReplica, next.ID(), metric, int(bit), int64(i+1), nil)
 			for v := range vectors {
 				rst.Set(TupleKey{Metric: metric, Vector: v, Bit: bit}, expiry)
 			}

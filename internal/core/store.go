@@ -5,6 +5,8 @@ import (
 	"sync"
 
 	"dhsketch/internal/dht"
+	"dhsketch/internal/obs"
+	"dhsketch/internal/sim"
 )
 
 // TupleKey identifies one DHS bit: which metric, which bitmap vector, and
@@ -31,12 +33,18 @@ type TupleKey struct {
 type Store struct {
 	mu     sync.Mutex
 	tuples map[TupleKey]int64 // key → expiry tick (math.MaxInt64 = no expiry)
+	// owner and env are set at creation by (*DHS).storeOf so the
+	// garbage-collecting read paths can report TTL expiry to the
+	// environment's tracer. Both stay nil/zero for stores created by the
+	// untraced package-level storeOf.
+	owner uint64
+	env   *sim.Env
 }
 
-// storeOf returns the DHS store attached to the node, creating it on
-// first use. Creation mutates the node's app slot, so this accessor
-// belongs to the single-threaded insertion path; concurrent counting
-// passes use storeIfPresent instead.
+// storeOf returns the DHS store attached to the node, creating an
+// untraced one on first use. Creation mutates the node's app slot, so
+// this accessor belongs to the single-threaded insertion path; concurrent
+// counting passes use storeIfPresent instead.
 func storeOf(n dht.Node) *Store {
 	if s, ok := n.App().(*Store); ok {
 		return s
@@ -44,6 +52,34 @@ func storeOf(n dht.Node) *Store {
 	s := &Store{tuples: make(map[TupleKey]int64)}
 	n.SetApp(s)
 	return s
+}
+
+// storeOf is the handle-aware accessor: a store it creates knows its
+// owning node and the simulation environment, so TTL garbage collection
+// emits KindExpire events when a tracer is attached. The tracer is read
+// from the environment at GC time, not captured at creation, so stores
+// created before SetTracer still report.
+func (d *DHS) storeOf(n dht.Node) *Store {
+	if s, ok := n.App().(*Store); ok {
+		return s
+	}
+	s := &Store{tuples: make(map[TupleKey]int64), owner: n.ID(), env: d.env}
+	n.SetApp(s)
+	return s
+}
+
+// expire reports one garbage-collection sweep that deleted n expired
+// tuples as a single aggregate event: per-tuple emission from a map sweep
+// would follow map iteration order and break trace determinism.
+func (s *Store) expire(now int64, n int) {
+	if n == 0 || s.env == nil {
+		return
+	}
+	t := s.env.Tracer()
+	if t == nil {
+		return
+	}
+	t.Event(obs.Event{Tick: now, Kind: obs.KindExpire, Node: s.owner, Bit: -1, Arg: int64(n)})
 }
 
 // storeIfPresent returns the node's store or nil, never creating one — a
@@ -74,6 +110,7 @@ func (s *Store) Has(k TupleKey, now int64) bool {
 	}
 	if exp < now {
 		delete(s.tuples, k)
+		s.expire(now, 1)
 		return false
 	}
 	return true
@@ -91,16 +128,19 @@ func (s *Store) VectorsWithBit(metric uint64, bit uint8, now int64) []int32 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []int32
+	expired := 0
 	for k, exp := range s.tuples {
 		if k.Metric != metric || k.Bit != bit {
 			continue
 		}
 		if exp < now {
 			delete(s.tuples, k)
+			expired++
 			continue
 		}
 		out = append(out, k.Vector)
 	}
+	s.expire(now, expired)
 	return out
 }
 
@@ -109,11 +149,14 @@ func (s *Store) VectorsWithBit(metric uint64, bit uint8, now int64) []int32 {
 func (s *Store) Len(now int64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	expired := 0
 	for k, exp := range s.tuples {
 		if exp < now {
 			delete(s.tuples, k)
+			expired++
 		}
 	}
+	s.expire(now, expired)
 	return len(s.tuples)
 }
 

@@ -1,0 +1,40 @@
+package dht
+
+import "dhsketch/internal/stats"
+
+// CountersSummary describes how the per-node load counters are
+// distributed across an overlay — the measured form of the paper's
+// constraint 3 (uniform access and storage load). Each field summarizes
+// one counter over every node passed to SummarizeCounters, including
+// nodes whose counter is zero.
+type CountersSummary struct {
+	// Nodes is the number of nodes summarized.
+	Nodes int
+	// Routed distributes forwarded routed messages per node.
+	Routed stats.Distribution
+	// Probed distributes answered DHS probes per node.
+	Probed stats.Distribution
+	// StoreOps distributes handled DHS stores/refreshes per node.
+	StoreOps stats.Distribution
+}
+
+// SummarizeCounters reads every node's counters (atomically, via
+// Snapshot, so it is safe while counting passes are still metering) and
+// returns the per-field load distributions.
+func SummarizeCounters(nodes []Node) CountersSummary {
+	routed := make([]float64, len(nodes))
+	probed := make([]float64, len(nodes))
+	stores := make([]float64, len(nodes))
+	for i, n := range nodes {
+		c := n.Counters().Snapshot()
+		routed[i] = float64(c.Routed)
+		probed[i] = float64(c.Probed)
+		stores[i] = float64(c.StoreOps)
+	}
+	return CountersSummary{
+		Nodes:    len(nodes),
+		Routed:   stats.Describe(routed),
+		Probed:   stats.Describe(probed),
+		StoreOps: stats.Describe(stores),
+	}
+}

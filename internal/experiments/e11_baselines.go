@@ -48,7 +48,7 @@ func RunE11(p Params) (*E11Result, error) {
 	}
 	const copies = 2
 
-	env := sim.NewEnv(p.Seed)
+	env := newEnv(p)
 	ring := chord.New(env, p.Nodes)
 	scen := baseline.NewScenario(ring)
 	ids := make([]uint64, items)
@@ -106,13 +106,8 @@ func RunE11(p Params) (*E11Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var maxProbe int64
-	for _, n := range ring.Nodes() {
-		if pl := n.Counters().Probed; pl > maxProbe {
-			maxProbe = pl
-		}
-	}
-	addRow("DHS (sLL)", est.Value, true, buildMsgs, env.Traffic.Snapshot().Sub(qBefore), maxProbe)
+	probeLoad := dht.SummarizeCounters(ring.Nodes()).Probed
+	addRow("DHS (sLL)", est.Value, true, buildMsgs, env.Traffic.Snapshot().Sub(qBefore), int64(probeLoad.Max))
 
 	// One node per counter.
 	snc, err := baseline.NewSingleNodeCounter(scen, "e11")

@@ -6,7 +6,6 @@ import (
 
 	"dhsketch/internal/chord"
 	"dhsketch/internal/core"
-	"dhsketch/internal/sim"
 	"dhsketch/internal/sketch"
 )
 
@@ -63,7 +62,7 @@ func RunE12(p Params, periods []int64) (*E12Result, error) {
 
 	res := &E12Result{Params: p, Items: items}
 	for _, period := range periods {
-		env := sim.NewEnv(p.Seed)
+		env := newEnv(p)
 		ring := chord.New(env, p.Nodes)
 		d, err := core.New(core.Config{
 			Overlay: ring, Env: env, K: p.K, M: m, Lim: p.Lim,

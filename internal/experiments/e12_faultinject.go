@@ -8,7 +8,6 @@ import (
 	"dhsketch/internal/core"
 	"dhsketch/internal/faultdht"
 	"dhsketch/internal/runner"
-	"dhsketch/internal/sim"
 	"dhsketch/internal/sketch"
 )
 
@@ -102,7 +101,7 @@ func RunE12F(p Params, scenarios []E12FScenario) (*E12FResult, error) {
 // runE12FCell loads and repeatedly counts one configuration on a fresh
 // deterministic overlay behind the fault injector.
 func runE12FCell(p Params, sc E12FScenario, kind sketch.Kind, R, items, m int) (*E12FRow, error) {
-	env := sim.NewEnv(p.Seed)
+	env := newEnv(p)
 	ring := chord.New(env, p.Nodes)
 	fo := faultdht.New(ring, env, sc.Fault)
 	d, err := core.New(core.Config{

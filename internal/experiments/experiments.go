@@ -22,6 +22,7 @@ import (
 	"dhsketch/internal/core"
 	"dhsketch/internal/dht"
 	"dhsketch/internal/histogram"
+	"dhsketch/internal/obs"
 	"dhsketch/internal/sim"
 	"dhsketch/internal/sketch"
 	"dhsketch/internal/workload"
@@ -53,6 +54,15 @@ type Params struct {
 	// environment and overlay from Seed, so results are bit-for-bit
 	// identical at every worker count. 0 means one worker per CPU.
 	Workers int
+	// Tracer, when non-nil, is attached to every simulation environment
+	// the experiment builds, so the run's lookups, probes, walk steps,
+	// stores, expiries, and injected faults stream to it. The sinks in
+	// internal/obs are race-safe, but experiments that fan cells out
+	// across Workers feed one sink from many concurrent environments —
+	// the event *ordering* across cells is then scheduling-dependent even
+	// though each cell's results stay deterministic. For byte-identical
+	// trace files, run with Workers = 1.
+	Tracer obs.Tracer
 }
 
 // Defaults fills zero fields with the paper's evaluation parameters.
@@ -98,10 +108,18 @@ type setup struct {
 	byKind map[sketch.Kind]*core.DHS
 }
 
+// newEnv builds a cell's simulation environment from the experiment seed
+// and attaches the experiment-wide tracer, if any.
+func newEnv(p Params) *sim.Env {
+	env := sim.NewEnv(p.Seed)
+	env.SetTracer(p.Tracer)
+	return env
+}
+
 // newSetup builds the overlay and DHS handles with the given bitmap
 // count and extra config tweaks applied by mutate (may be nil).
 func newSetup(p Params, m int, mutate func(*core.Config)) (*setup, error) {
-	env := sim.NewEnv(p.Seed)
+	env := newEnv(p)
 	ring := chord.New(env, p.Nodes)
 	s := &setup{params: p, env: env, ring: ring, byKind: map[sketch.Kind]*core.DHS{}}
 	for _, kind := range []sketch.Kind{sketch.KindPCSA, sketch.KindSuperLogLog, sketch.KindLogLog, sketch.KindHyperLogLog} {

@@ -23,6 +23,7 @@ import (
 
 	"dhsketch/internal/dht"
 	"dhsketch/internal/md4"
+	"dhsketch/internal/obs"
 	"dhsketch/internal/sim"
 )
 
@@ -156,25 +157,45 @@ func (o *Overlay) Down(n dht.Node) bool {
 
 // exchange applies the failure model to one request/reply exchange with
 // node n: first the lossy link, then the node's down-window, then the
-// slow-node timeout. Returns nil when the exchange succeeds.
+// slow-node timeout. Returns nil when the exchange succeeds. Every
+// injected fault is reported to the environment's tracer.
 func (o *Overlay) exchange(n dht.Node) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.stats.Exchanges++
 	if o.cfg.DropProb > 0 && o.rng.Float64() < o.cfg.DropProb {
 		o.stats.Lost++
+		o.fault(n.ID(), dht.ErrLost)
 		return dht.ErrLost
 	}
 	if o.Down(n) {
 		o.stats.DownHits++
+		o.fault(n.ID(), dht.ErrNodeDown)
 		return dht.ErrNodeDown
 	}
 	if o.cfg.SlowFrac > 0 && o.cfg.SlowTimeoutProb > 0 && o.slow(n.ID()) &&
 		o.rng.Float64() < o.cfg.SlowTimeoutProb {
 		o.stats.Timeouts++
+		o.fault(n.ID(), dht.ErrTimeout)
 		return dht.ErrTimeout
 	}
 	return nil
+}
+
+// fault emits one injected-fault event; one nil check when tracing is
+// disabled.
+func (o *Overlay) fault(node uint64, err error) {
+	t := o.env.Tracer()
+	if t == nil {
+		return
+	}
+	t.Event(obs.Event{
+		Tick: o.env.Clock.Now(),
+		Kind: obs.KindFault,
+		Node: node,
+		Bit:  -1,
+		Err:  obs.Classify(err),
+	})
 }
 
 // Bits returns the inner overlay's identifier length.
@@ -213,6 +234,7 @@ func (o *Overlay) LookupFrom(src dht.Node, key uint64) (dht.Node, int, error) {
 		o.mu.Lock()
 		o.stats.Exchanges++
 		o.stats.DownHits++
+		o.fault(src.ID(), dht.ErrNodeDown)
 		o.mu.Unlock()
 		return nil, 0, dht.ErrNodeDown
 	}

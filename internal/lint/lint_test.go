@@ -13,6 +13,13 @@ func TestDeterminism(t *testing.T) {
 	linttest.Run(t, testdata, lint.DeterminismAnalyzer, "determinism/a")
 }
 
+// TestDeterminismObs runs the determinism analyzer over an obs-shaped
+// fixture: trace sinks must tick-stamp from the caller's sim.Clock and
+// seed their sampling streams explicitly.
+func TestDeterminismObs(t *testing.T) {
+	linttest.Run(t, testdata, lint.DeterminismAnalyzer, "dhsketch/internal/obs")
+}
+
 func TestMapOrder(t *testing.T) {
 	linttest.Run(t, testdata, lint.MapOrderAnalyzer, "maporder/a")
 }
@@ -33,6 +40,7 @@ func TestLockedCopy(t *testing.T) {
 // analyzer is reported at its exact file:line:column.
 func TestPlantedPositions(t *testing.T) {
 	linttest.MustFindAt(t, testdata, lint.DeterminismAnalyzer, "determinism/planted", "planted.go", 7, 9)
+	linttest.MustFindAt(t, testdata, lint.DeterminismAnalyzer, "dhsketch/internal/obs", "obs.go", 41, 7)
 	linttest.MustFindAt(t, testdata, lint.MapOrderAnalyzer, "maporder/planted", "planted.go", 7, 2)
 	linttest.MustFindAt(t, testdata, lint.DHTErrorsAnalyzer, "dhsketch/internal/core", "core.go", 15, 2)
 	linttest.MustFindAt(t, testdata, lint.PanicMsgAnalyzer, "panicmsg/planted", "planted.go", 5, 14)
@@ -66,5 +74,12 @@ func TestMatchScopes(t *testing.T) {
 		if got := c.analyzer.Match(c.path); got != c.want {
 			t.Errorf("%s.Match(%q) = %v, want %v", c.analyzer.Name, c.path, got, c.want)
 		}
+	}
+
+	// The determinism analyzer's nil Match means the driver runs it on
+	// every package — in particular the tracing layer, whose whole value
+	// is byte-identical replay.
+	if a := lint.DeterminismAnalyzer; a.Match != nil && !a.Match("dhsketch/internal/obs") {
+		t.Error("determinism analyzer excludes dhsketch/internal/obs")
 	}
 }

@@ -1,0 +1,63 @@
+// Package obs mirrors the real tracing package's shape for the
+// determinism golden tests. The contract these fixtures enforce: sinks
+// stamp events with the caller-supplied sim.Clock tick, never the wall
+// clock, and any sampling decision flows from an explicitly seeded
+// stream. Each shortcut a sink author might reach for is planted below
+// with its expected finding; one time.Now site is also pinned by exact
+// position in the golden test.
+package obs
+
+import (
+	mrand "math/rand" // want `import of math/rand \(v1\)`
+	"math/rand/v2"
+	"time"
+)
+
+// Event is the traced record. Tick comes from the caller — the approved
+// pattern, and why emit below carries no findings.
+type Event struct {
+	Tick int64
+	Arg  int64
+}
+
+// Sink collects events.
+type Sink struct {
+	events []Event
+	rng    *rand.Rand
+}
+
+// NewSink seeds its sampling stream explicitly; nothing here is flagged.
+func NewSink(seed uint64) *Sink {
+	return &Sink{rng: rand.New(rand.NewPCG(seed, 0xb5))}
+}
+
+// emit records a caller-stamped event: the approved pattern.
+func (s *Sink) emit(tick, arg int64) {
+	s.events = append(s.events, Event{Tick: tick, Arg: arg})
+}
+
+// wallStamp is the classic sink mistake: self-stamping at emit time.
+func (s *Sink) wallStamp(arg int64) {
+	t := time.Now() // want `time.Now reads the wall clock`
+	s.events = append(s.events, Event{Tick: t.UnixNano(), Arg: arg})
+}
+
+// flushLater waits on the wall clock before draining.
+func (s *Sink) flushLater() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+}
+
+// sampled drops events via the process-global source, whose seed varies
+// per process and would break byte-identical traces.
+func (s *Sink) sampled(tick, arg int64) {
+	if rand.IntN(10) == 0 { // want `rand.IntN uses the process-global random source`
+		return
+	}
+	s.emit(tick, arg)
+}
+
+// jitterV1 shows why the v1 import ban exists: its sources are seedable
+// from the clock by convention. Reported once, at the import.
+func jitterV1() int64 {
+	return mrand.New(mrand.NewSource(1)).Int63()
+}

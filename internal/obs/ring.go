@@ -1,0 +1,71 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded in-memory event buffer: it retains the most recent
+// capacity events, overwriting the oldest. It is the post-mortem sink —
+// cheap enough to leave attached, and when something goes wrong (or a
+// test wants to reconstruct a counting walk hop by hop) the tail of the
+// event stream is right there.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	start int    // index of the oldest retained event
+	n     int    // number of retained events (≤ cap)
+	total uint64 // events ever seen, including overwritten ones
+}
+
+// NewRing returns a ring buffer retaining the last capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("obs: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Event records e, evicting the oldest retained event when full.
+func (r *Ring) Event(e Event) {
+	r.mu.Lock()
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = e
+		r.n++
+	} else {
+		r.buf[r.start] = e
+		r.start = (r.start + 1) % len(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Total returns the number of events ever recorded, including those
+// already overwritten.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Reset discards all retained events (the total count keeps running).
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	r.start, r.n = 0, 0
+	r.mu.Unlock()
+}

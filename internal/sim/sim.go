@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"dhsketch/internal/md4"
+	"dhsketch/internal/obs"
 )
 
 // Clock is a virtual clock. The unit is abstract ("ticks"); the DHS layer
@@ -115,6 +116,7 @@ type Env struct {
 	Traffic Traffic
 	seed    uint64
 	rng     *rand.Rand
+	tracer  obs.Tracer
 }
 
 // NewEnv returns a fresh environment with the given master seed.
@@ -127,6 +129,18 @@ func NewEnv(seed uint64) *Env {
 
 // Seed returns the master seed the environment was created with.
 func (e *Env) Seed() uint64 { return e.seed }
+
+// Tracer returns the observability sink attached to the environment, or
+// nil when tracing is disabled. Every instrumented layer reads the sink
+// through here, so one attachment point covers core, faultdht, and the
+// per-node stores.
+func (e *Env) Tracer() obs.Tracer { return e.tracer }
+
+// SetTracer attaches (or, with nil, detaches) an observability sink.
+// Attach before starting operations: the field is read without
+// synchronization by concurrent counting passes, so mutating it mid-run
+// is a race. Event timestamps are this environment's Clock ticks.
+func (e *Env) SetTracer(t obs.Tracer) { e.tracer = t }
 
 // RNG returns the environment's primary random stream.
 func (e *Env) RNG() *rand.Rand { return e.rng }

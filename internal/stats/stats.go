@@ -166,6 +166,41 @@ func Gini(loads []float64) float64 {
 	return (2*weighted - float64(n+1)*cum) / (float64(n) * cum)
 }
 
+// Distribution summarizes one sample set the way the load-balance
+// analyses report it (paper constraint 3): central tendency, spread
+// percentiles, and the Gini concentration coefficient. The zero value
+// describes an empty sample.
+type Distribution struct {
+	Count int
+	Mean  float64
+	Min   float64
+	P50   float64
+	P90   float64
+	P99   float64
+	Max   float64
+	// Gini is 0 for perfectly uniform samples and approaches 1 as the
+	// mass concentrates on a single sample.
+	Gini float64
+}
+
+// Describe computes the Distribution of xs. It does not modify xs.
+// Negative samples panic (via Gini): a load vector cannot go below zero.
+func Describe(xs []float64) Distribution {
+	if len(xs) == 0 {
+		return Distribution{}
+	}
+	return Distribution{
+		Count: len(xs),
+		Mean:  Mean(xs),
+		Min:   Min(xs),
+		P50:   Percentile(xs, 50),
+		P90:   Percentile(xs, 90),
+		P99:   Percentile(xs, 99),
+		Max:   Max(xs),
+		Gini:  Gini(xs),
+	}
+}
+
 // IntsToFloats converts an integer load vector for use with the float
 // statistics above.
 func IntsToFloats(xs []int) []float64 {

@@ -237,3 +237,26 @@ func TestMeanStdDevAgainstNormalSample(t *testing.T) {
 		t.Errorf("sample stddev = %v, want ~3", s)
 	}
 }
+
+func TestDescribe(t *testing.T) {
+	if d := Describe(nil); d != (Distribution{}) {
+		t.Errorf("Describe(nil) = %+v, want zero value", d)
+	}
+	d := Describe([]float64{4, 1, 3, 2})
+	if d.Count != 4 || d.Mean != 2.5 || d.Min != 1 || d.Max != 4 {
+		t.Errorf("Describe = %+v", d)
+	}
+	if d.P50 < 2 || d.P50 > 3 {
+		t.Errorf("P50 = %v, want within [2, 3]", d.P50)
+	}
+	if d.P99 > d.Max || d.P90 > d.P99 || d.P50 > d.P90 {
+		t.Errorf("percentiles not monotone: %+v", d)
+	}
+	if d.Gini != Gini([]float64{1, 2, 3, 4}) {
+		t.Errorf("Gini mismatch: %v", d.Gini)
+	}
+	uniform := Describe([]float64{7, 7, 7})
+	if uniform.Gini != 0 || uniform.P50 != 7 || uniform.Min != 7 || uniform.Max != 7 {
+		t.Errorf("uniform sample: %+v", uniform)
+	}
+}

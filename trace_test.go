@@ -1,0 +1,113 @@
+package dhsketch_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dhsketch"
+)
+
+// TestPublicTracing exercises the observability surface through the
+// facade only: attach multiplexed sinks, run a workload, and read the
+// load report and the nodes' counter summary back.
+func TestPublicTracing(t *testing.T) {
+	net := dhsketch.NewNetwork(9, 128)
+	d, err := dhsketch.New(net, dhsketch.Config{M: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ring := dhsketch.NewTraceRing(4096)
+	agg := dhsketch.NewTraceAggregator()
+	var buf bytes.Buffer
+	jsonl := dhsketch.NewTraceJSONL(&buf)
+	net.AttachTracer(dhsketch.MultiTracer(ring, agg, jsonl))
+
+	metric := dhsketch.MetricID("traced")
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if _, err := d.Insert(metric, dhsketch.ItemID(fmt.Sprintf("t-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Count(metric); err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if ring.Total() == 0 {
+		t.Fatal("ring sink saw nothing")
+	}
+	report := agg.Report(128)
+	if report.Passes != 1 || report.TotalProbes() == 0 {
+		t.Fatalf("report = %+v, want one pass with probes", report)
+	}
+	if report.StoresPerNode.Count != 128 {
+		t.Fatalf("StoresPerNode.Count = %d, want the full overlay", report.StoresPerNode.Count)
+	}
+	for _, kind := range []string{`"kind":"store"`, `"kind":"lookup"`, `"kind":"probe"`} {
+		if !strings.Contains(buf.String(), kind) {
+			t.Errorf("JSONL missing %s events", kind)
+		}
+	}
+
+	// The always-on counters tell the same story without any tracer.
+	sum := net.LoadSummary()
+	if sum.Nodes != 128 || sum.StoreOps.Mean == 0 {
+		t.Fatalf("LoadSummary = %+v", sum)
+	}
+	if int64(sum.Probed.Mean*float64(sum.Nodes)) != report.TotalProbes() {
+		t.Errorf("counters probed total %v != trace total %d",
+			sum.Probed.Mean*float64(sum.Nodes), report.TotalProbes())
+	}
+
+	// Detach: the sinks must fall silent.
+	net.AttachTracer(nil)
+	before := ring.Total()
+	if _, err := d.Count(metric); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Total() != before {
+		t.Error("detached tracer still received events")
+	}
+}
+
+// BenchmarkCountTraceOff measures the counting hot path with tracing
+// disabled — the nil-check-only baseline the overhead budget in
+// DESIGN.md §11 is written against.
+func BenchmarkCountTraceOff(b *testing.B) {
+	benchmarkCountTrace(b, false)
+}
+
+// BenchmarkCountTraceOn is the same walk with a ring sink attached, to
+// bound the per-event cost when tracing is enabled.
+func BenchmarkCountTraceOn(b *testing.B) {
+	benchmarkCountTrace(b, true)
+}
+
+func benchmarkCountTrace(b *testing.B, traced bool) {
+	net := dhsketch.NewNetwork(3, 1024)
+	d, err := dhsketch.New(net, dhsketch.Config{M: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	metric := dhsketch.MetricID("bench-trace")
+	for i := 0; i < 20000; i++ {
+		if _, err := d.Insert(metric, dhsketch.ItemID(fmt.Sprintf("bt-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if traced {
+		net.AttachTracer(dhsketch.NewTraceRing(1 << 16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Count(metric); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
