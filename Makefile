@@ -31,5 +31,17 @@ race:
 # custom lint suite, formatting, and the race detector.
 verify: build vet lint fmtcheck test race
 
+# bench runs the benchmark suite (root macro-benchmarks plus the
+# internal/store probe-reply micro-benchmarks) and converts the text
+# output into machine-readable JSON via cmd/benchjson, so a run can be
+# committed as a perf-trajectory point:
+#
+#   make bench BENCHTIME=2s BENCHJSON=BENCH_6.json
+BENCHTIME ?= 1x
+BENCHTXT  ?= bench.out
+BENCHJSON ?= bench.json
+
 bench:
-	$(GO) test -bench=. -benchtime=1x .
+	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCHTIME) . ./internal/store | tee $(BENCHTXT)
+	$(GO) run ./cmd/benchjson < $(BENCHTXT) > $(BENCHJSON)
+	@echo "wrote $(BENCHJSON)"

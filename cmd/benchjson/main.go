@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a machine-readable JSON document on stdout, so benchmark runs can be
+// committed as perf-trajectory points (BENCH_*.json) and diffed across
+// revisions by tools instead of eyeballs.
+//
+//	go test -run=NONE -bench=. -benchtime=2s . ./internal/store | go run ./cmd/benchjson
+//
+// Each benchmark result line becomes one record: the benchmark name
+// (GOMAXPROCS suffix stripped, so trajectories compare across machines),
+// the package it lives in, the iteration count, and every value/unit
+// pair — the standard ns/op, B/op, allocs/op plus any custom
+// b.ReportMetric units (hops/pass, est@metric0, ...). Header lines
+// (goos, goarch, cpu) are carried through as environment metadata. The
+// output contains nothing run-dependent beyond the measurements
+// themselves — no timestamps — so re-runs diff cleanly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*document, error) {
+	doc := &document{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseResult(line)
+			if !ok {
+				continue
+			}
+			b.Pkg = pkg
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return doc, nil
+}
+
+// parseResult decodes one result line: the benchmark name, the iteration
+// count, then (value, unit) pairs.
+//
+//	BenchmarkProbeReply-8   42064866   56.23 ns/op   0 B/op   0 allocs/op
+func parseResult(line string) (benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{
+		Name:       stripProcs(fields[0]),
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix the testing package
+// appends to benchmark names.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -28,7 +28,21 @@ type Node struct {
 	alive    bool
 	app      any
 	counters dht.Counters
+
+	// fingers is the node's cached routing table: fingers[i] is the
+	// live owner of id + 2^i (post-stabilization state), so fingers[0]
+	// is the node's successor. The Ring rebuilds every live node's
+	// table at membership-change time (see rebuildFingers); between
+	// changes the tables are read-only, which is what makes routing
+	// safe for the concurrent counting passes without per-hop binary
+	// searches. A dead node's table is stale and never read — routing
+	// from a dead node errors first, and Revive triggers a rebuild.
+	fingers [fingerBits]*Node
 }
+
+// fingerBits is the number of finger-table entries per node, one per
+// bit of the 64-bit identifier space.
+const fingerBits = 64
 
 // ID returns the node's ring identifier.
 func (n *Node) ID() uint64 { return n.id }
@@ -68,9 +82,22 @@ type Ring struct {
 	live []*Node
 	all  map[uint64]*Node
 
+	// epoch counts membership changes; fingerEpoch records the epoch
+	// the nodes' finger tables were last rebuilt at. The two are equal
+	// whenever the ring is quiescent — every membership operation ends
+	// by rebuilding — and routing asserts it, so a future membership
+	// path that forgets to rebuild fails loudly instead of routing on
+	// stale tables.
+	epoch       uint64
+	fingerEpoch uint64
+
 	// maxHops aborts routing loops; generous multiple of log N.
 	maxHops int
 }
+
+// errStaleFingers is the routing-time assertion message: finger tables
+// must be rebuilt before the first lookup after a membership change.
+const errStaleFingers = "chord: finger tables stale — membership change without rebuildFingers"
 
 // New creates a ring of n nodes with MD4-derived identifiers, simulating
 // the paper's setup ("node and item IDs are 64 bits, created using MD4").
@@ -87,7 +114,24 @@ func New(env *sim.Env, n int) *Ring {
 	for i := 0; i < n; i++ {
 		r.addNode(fmt.Sprintf("node-%d:4000", i))
 	}
+	r.rebuildFingers()
 	return r
+}
+
+// rebuildFingers recomputes every live node's finger table against the
+// current live ring. Called at the end of each membership change (and
+// once after batch construction), so the tables are always consistent
+// by the time concurrent routing can observe them; between rebuilds
+// they are read-only. Cost is O(N · 64 · log N) per membership event —
+// paid on the rare mutation path so the hot lookup path pays zero
+// binary searches per hop.
+func (r *Ring) rebuildFingers() {
+	for _, n := range r.live {
+		for i := range n.fingers {
+			n.fingers[i] = r.live[r.ownerIndex(n.id+uint64(1)<<uint(i))]
+		}
+	}
+	r.fingerEpoch = r.epoch
 }
 
 // addNode creates a node from name, re-hashing on the (astronomically
@@ -105,6 +149,7 @@ func (r *Ring) addNode(name string) *Node {
 	r.live = append(r.live, nil)
 	copy(r.live[idx+1:], r.live[idx:])
 	r.live[idx] = n
+	r.epoch++
 	return n
 }
 
@@ -180,6 +225,9 @@ func (r *Ring) LookupFrom(src dht.Node, key uint64) (dht.Node, int, error) {
 	if len(r.live) == 0 {
 		return nil, 0, dht.ErrNoRoute
 	}
+	if r.fingerEpoch != r.epoch {
+		panic(errStaleFingers)
+	}
 	owner := r.live[r.ownerIndex(key)]
 	hops := 0
 	for cur != owner {
@@ -205,8 +253,9 @@ func (r *Ring) LookupFrom(src dht.Node, key uint64) (dht.Node, int, error) {
 
 // closestPrecedingFinger returns the finger of cur that lies furthest
 // along the arc (cur, key), or cur itself if no finger makes progress.
-// Fingers are the successors of cur.id + 2^i, i = 63..0, resolved against
-// the live ring (post-stabilization state).
+// Fingers are the successors of cur.id + 2^i, i = 63..0, read from the
+// node's cached table (post-stabilization state, rebuilt at membership-
+// change time) — no binary searches on the routing hot path.
 func (r *Ring) closestPrecedingFinger(cur *Node, key uint64) *Node {
 	dKey := dist(cur.id, key)
 	if dKey < 2 {
@@ -219,7 +268,7 @@ func (r *Ring) closestPrecedingFinger(cur *Node, key uint64) *Node {
 		if span >= dKey {
 			continue // finger target at or beyond the key
 		}
-		f := r.live[r.ownerIndex(cur.id+span)]
+		f := cur.fingers[i]
 		if f == cur {
 			continue
 		}
@@ -230,10 +279,10 @@ func (r *Ring) closestPrecedingFinger(cur *Node, key uint64) *Node {
 	return cur
 }
 
-// successorNode returns the live node immediately after n on the ring.
+// successorNode returns the live node immediately after n on the ring —
+// the node's first finger (owner of id + 2^0).
 func (r *Ring) successorNode(n *Node) *Node {
-	idx := r.ownerIndex(n.id + 1)
-	return r.live[idx]
+	return n.fingers[0]
 }
 
 // Successor returns the live node immediately following n.
@@ -272,7 +321,9 @@ func (r *Ring) Predecessor(n dht.Node) (dht.Node, error) {
 
 // Join adds a new node with the given name and returns it.
 func (r *Ring) Join(name string) dht.Node {
-	return r.addNode(name)
+	n := r.addNode(name)
+	r.rebuildFingers()
+	return n
 }
 
 // Fail marks the node down and removes it from the live ring. Its stored
@@ -285,6 +336,7 @@ func (r *Ring) Fail(n dht.Node) {
 	}
 	cn.alive = false
 	r.removeLive(cn)
+	r.rebuildFingers()
 }
 
 // Revive brings a previously failed node back with empty application
@@ -300,6 +352,8 @@ func (r *Ring) Revive(n dht.Node) {
 	r.live = append(r.live, nil)
 	copy(r.live[idx+1:], r.live[idx:])
 	r.live[idx] = cn
+	r.epoch++
+	r.rebuildFingers()
 }
 
 // Leave removes the node gracefully. In this simulation graceful departure
@@ -329,5 +383,6 @@ func (r *Ring) removeLive(n *Node) {
 	idx := sort.Search(len(r.live), func(i int) bool { return r.live[i].id >= n.id })
 	if idx < len(r.live) && r.live[idx] == n {
 		r.live = append(r.live[:idx], r.live[idx+1:]...)
+		r.epoch++
 	}
 }

@@ -328,6 +328,56 @@ func TestMassiveFailureStillRoutes(t *testing.T) {
 	}
 }
 
+// checkFingers verifies every live node's cached finger table against a
+// fresh binary-search resolution on the live ring.
+func checkFingers(t *testing.T, r *Ring) {
+	t.Helper()
+	for _, n := range r.live {
+		for i := range n.fingers {
+			want := r.live[r.ownerIndex(n.id+uint64(1)<<uint(i))]
+			if n.fingers[i] != want {
+				t.Fatalf("node %x finger %d = %x, want %x",
+					n.id, i, n.fingers[i].id, want.id)
+			}
+		}
+	}
+	if r.fingerEpoch != r.epoch {
+		t.Fatalf("fingerEpoch %d != epoch %d after membership change", r.fingerEpoch, r.epoch)
+	}
+}
+
+func TestFingerCacheConsistentAcrossMembership(t *testing.T) {
+	r := newRing(t, 64)
+	checkFingers(t, r)
+
+	r.Join("newcomer:1")
+	checkFingers(t, r)
+
+	victim := r.live[20]
+	r.Fail(victim)
+	checkFingers(t, r)
+
+	r.Revive(victim)
+	checkFingers(t, r)
+
+	r.FailRandom(10)
+	checkFingers(t, r)
+
+	r.Leave(r.Nodes()[0])
+	checkFingers(t, r)
+}
+
+func TestStaleFingerTablesPanic(t *testing.T) {
+	r := newRing(t, 8)
+	r.epoch++ // simulate a membership path that forgot to rebuild
+	defer func() {
+		if recover() == nil {
+			t.Fatal("routing on stale finger tables did not panic")
+		}
+	}()
+	r.Lookup(42)
+}
+
 func BenchmarkLookup(b *testing.B) {
 	for _, n := range []int{1024, 10240} {
 		b.Run(map[int]string{1024: "N1024", 10240: "N10240"}[n], func(b *testing.B) {

@@ -21,6 +21,7 @@ import (
 	"dhsketch/internal/hashutil"
 	"dhsketch/internal/sim"
 	"dhsketch/internal/sketch"
+	"dhsketch/internal/store"
 )
 
 // Defaults mirror the paper's evaluation setup (§5.1).
@@ -42,8 +43,9 @@ const (
 // Wire-size model, following §5.1: the DHS tuple packs metric_id,
 // vector_id, bit, and time_out into 64 bits.
 const (
-	// TupleBytes is the wire size of one DHS tuple.
-	TupleBytes = 8
+	// TupleBytes is the wire size of one DHS tuple (defined with the
+	// per-node index in package store, re-exported here).
+	TupleBytes = store.TupleBytes
 	// MsgHeaderBytes is the fixed overhead of one DHS message.
 	MsgHeaderBytes = 8
 	// ProbeReqBytes is the size of a counting probe request (metric

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"math/rand/v2"
 
 	"dhsketch/internal/dht"
@@ -148,6 +149,12 @@ type metricState struct {
 	// foundHere marks vectors observed set at the current bit position
 	// (ascending PCSA scans need it to decide leftmost zeros).
 	foundHere []bool
+	// scratch is the caller-owned probe-reply buffer: every probe's
+	// bitset answer for this metric is written into it in place
+	// (Store.AppendBitsWithBit), so the steady-state probe path
+	// allocates nothing. Sized ⌈m/64⌉; grows only if a foreign handle
+	// with larger m shares the overlay.
+	scratch []uint64
 }
 
 func newMetricState(metric uint64, m int) *metricState {
@@ -157,6 +164,7 @@ func newMetricState(metric uint64, m int) *metricState {
 		resolved:   make([]bool, m),
 		unresolved: m,
 		foundHere:  make([]bool, m),
+		scratch:    make([]uint64, 0, (m+63)/64),
 	}
 	for i := range st.R {
 		st.R[i] = -1
@@ -227,24 +235,34 @@ func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bi
 		// capped at k−1 would silently drop the top statistic.
 		start = int(d.maxBit)
 	}
+	pc := d.newPassCtx()
 	for bit := start; bit >= int(d.cfg.ShiftBits); bit-- {
 		if totalUnresolved(states) == 0 {
 			break
 		}
-		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, rng, pt, func(n dht.Node) bool {
+		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, pc, rng, pt, func(n dht.Node) bool {
+			s := storeIfPresent(n)
 			now := d.env.Clock.Now()
 			for _, st := range states {
 				if st.unresolved == 0 {
 					continue
 				}
-				for _, v := range storeIfPresent(n).VectorsWithBit(st.metric, uint8(bit), now) {
-					if int(v) >= len(st.resolved) {
-						continue // foreign vector index (mismatched m); ignore
-					}
-					if !st.resolved[v] {
-						st.resolved[v] = true
-						st.R[v] = bit
-						st.unresolved--
+				st.scratch = s.AppendBitsWithBit(st.scratch, st.metric, uint8(bit), now)
+				for wi, w := range st.scratch {
+					base := wi << 6
+					for ; w != 0; w &= w - 1 {
+						v := base + bits.TrailingZeros64(w)
+						if v >= len(st.resolved) {
+							continue // foreign vector index (mismatched m); ignore
+						}
+						if !st.resolved[v] {
+							st.resolved[v] = true
+							st.R[v] = bit
+							st.unresolved--
+							if st.unresolved == 0 {
+								pc.metricResolved()
+							}
+						}
 					}
 				}
 			}
@@ -265,6 +283,7 @@ func (d *DHS) scanDescending(src dht.Node, states []*metricState, limFor func(bi
 func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit int) int, rng *rand.Rand, pt *passTracer) (CountCost, scanQuality) {
 	var cost CountCost
 	var q scanQuality
+	pc := d.newPassCtx()
 	for bit := int(d.cfg.ShiftBits); bit <= int(d.maxBit); bit++ {
 		if totalUnresolved(states) == 0 {
 			break
@@ -272,18 +291,24 @@ func (d *DHS) scanAscending(src dht.Node, states []*metricState, limFor func(bit
 		for _, st := range states {
 			clearBools(st.foundHere)
 		}
-		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, rng, pt, func(n dht.Node) bool {
+		c, out := d.probeIntervalLim(src, uint(bit), limFor(bit), states, pc, rng, pt, func(n dht.Node) bool {
+			s := storeIfPresent(n)
 			now := d.env.Clock.Now()
 			allFound := true
 			for _, st := range states {
 				if st.unresolved == 0 {
 					continue
 				}
-				for _, v := range storeIfPresent(n).VectorsWithBit(st.metric, uint8(bit), now) {
-					if int(v) >= len(st.foundHere) {
-						continue // foreign vector index (mismatched m); ignore
+				st.scratch = s.AppendBitsWithBit(st.scratch, st.metric, uint8(bit), now)
+				for wi, w := range st.scratch {
+					base := wi << 6
+					for ; w != 0; w &= w - 1 {
+						v := base + bits.TrailingZeros64(w)
+						if v >= len(st.foundHere) {
+							continue // foreign vector index (mismatched m); ignore
+						}
+						st.foundHere[v] = true
 					}
-					st.foundHere[v] = true
 				}
 				for j := range st.foundHere {
 					if !st.resolved[j] && !st.foundHere[j] {
@@ -352,6 +377,38 @@ type intervalOutcome struct {
 	visited   int // nodes successfully probed
 }
 
+// passCtx caches the probe-reply size of the current counting pass so
+// the per-probe cost accounting is a single addition. A reply carries
+// ⌈m/8⌉ bytes for every metric that still has unresolved vectors;
+// recomputing that sum per probe is wasted work, because it only
+// changes when a metric becomes fully resolved — refresh recomputes it
+// at each interval entry and metricResolved adjusts it in place when a
+// descending-scan visitor closes out a metric mid-interval.
+type passCtx struct {
+	perMetric int // reply bytes per still-unresolved metric, ⌈m/8⌉
+	resp      int // current probe-reply size incl. the message header
+}
+
+func (d *DHS) newPassCtx() *passCtx {
+	return &passCtx{perMetric: (d.cfg.M + 7) / 8}
+}
+
+// refresh recomputes the reply size from the states' current resolution.
+func (pc *passCtx) refresh(states []*metricState) {
+	pc.resp = MsgHeaderBytes
+	for _, st := range states {
+		if st.unresolved > 0 {
+			pc.resp += pc.perMetric
+		}
+	}
+}
+
+// metricResolved shrinks the reply by one metric's bitmaps — called the
+// moment a metric's last vector resolves.
+func (pc *passCtx) metricResolved() {
+	pc.resp -= pc.perMetric
+}
+
 // probeIntervalLim performs the probe-and-retry walk of Algorithm 1 on
 // one bit's ID-space interval: route to a uniformly random identifier in
 // the interval, probe its owner, then retry — blindly along successors
@@ -367,29 +424,26 @@ type intervalOutcome struct {
 //
 // All randomness comes from rng, the calling pass's private stream, so
 // concurrent passes neither contend on nor perturb each other.
-func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metricState, rng *rand.Rand, pt *passTracer, visit func(dht.Node) bool) (CountCost, intervalOutcome) {
+func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metricState, pc *passCtx, rng *rand.Rand, pt *passTracer, visit func(dht.Node) bool) (CountCost, intervalOutcome) {
 	lo, size := d.intervalForBit(bit)
 
 	var cost CountCost
 	var out intervalOutcome
 
-	respBytes := func() int {
-		b := MsgHeaderBytes
-		for _, st := range states {
-			if st.unresolved > 0 {
-				b += (d.cfg.M + 7) / 8
-			}
-		}
-		return b
-	}
+	// The reply size is a pure function of which metrics are still
+	// unresolved; recompute it once per interval and let the visitors
+	// adjust it via pc.metricResolved. The accounting reads it before
+	// visit runs, so a probe is always costed at the pre-reply state —
+	// the node answered for every metric that was open when asked.
+	pc.refresh(states)
 
 	probe := func(n dht.Node, h int) bool {
 		n.Counters().AddProbed()
 		out.visited++
 		cost.NodesVisited++
 		cost.Hops += int64(h)
-		cost.Bytes += int64(h) * int64(ProbeReqBytes+respBytes())
-		d.env.Traffic.Account(h, ProbeReqBytes+respBytes())
+		cost.Bytes += int64(h) * int64(ProbeReqBytes+pc.resp)
+		d.env.Traffic.Account(h, ProbeReqBytes+pc.resp)
 		pt.emit(obs.KindProbe, n.ID(), int(bit), int64(h), nil)
 		return visit(n)
 	}
@@ -406,17 +460,20 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 	}
 
 	// enter routes to a fresh uniform target in the interval; it costs
-	// one budget unit whether or not it succeeds.
+	// one budget unit whether or not it succeeds. Only a successful
+	// route counts as a lookup — the metering rule shared with the
+	// insertion paths (see CountCost.Lookups); the failed attempt is
+	// still visible in Quality.ProbesAttempted/ProbesFailed.
 	enter := func() (dht.Node, int, bool) {
 		target := sim.UniformIn(rng, lo, size)
 		n, hops, err := d.overlay.LookupFrom(src, target)
-		cost.Lookups++
 		out.attempted++
 		if err != nil {
 			pt.emit(obs.KindLookup, 0, int(bit), int64(hops), err)
 			fail(hops)
 			return nil, 0, false
 		}
+		cost.Lookups++
 		pt.emit(obs.KindLookup, n.ID(), int(bit), int64(hops), nil)
 		return n, hops, true
 	}

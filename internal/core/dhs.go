@@ -172,8 +172,16 @@ type Quality struct {
 }
 
 // CountCost itemizes what a counting operation consumed.
+//
+// Metering rule, shared with InsertCost: Lookups counts only lookups
+// that successfully routed to a node. A lookup that fails mid-route
+// (dropped message, down node, timeout) still spends probe budget and
+// still meters its partial route in Hops/Bytes as dropped traffic, but
+// is reported through Quality.ProbesAttempted/ProbesFailed rather than
+// here — Lookups answers "how many interval entries succeeded", not
+// "how many were tried".
 type CountCost struct {
-	Lookups      int   // routed DHT lookups (one per probed interval)
+	Lookups      int   // successfully routed DHT lookups (one per entered interval)
 	NodesVisited int   // total nodes probed, including retry walks
 	Hops         int64 // overlay hops (lookup routes + 1-hop retries)
 	Bytes        int64 // wire bytes under the §5.1 size model

@@ -144,7 +144,7 @@ func TestBulkInsertEquivalentBits(t *testing.T) {
 		set := map[TupleKey]bool{}
 		for _, n := range ring.Nodes() {
 			if s, ok := n.App().(*Store); ok {
-				for k := range s.tuples {
+				for _, k := range s.Keys(0) {
 					set[k] = true
 				}
 			}

@@ -27,6 +27,11 @@ func (d *DHS) trace(kind obs.Kind, node, metric uint64, bit int, arg int64, err 
 }
 
 // InsertCost itemizes what an insertion consumed.
+//
+// Metering rule, shared with CountCost: Lookups counts only lookups
+// that successfully routed to a node; a failed attempt meters its
+// partial route in Hops/Bytes as dropped traffic and shows up in
+// Retries, never in Lookups.
 type InsertCost struct {
 	Lookups int
 	Hops    int64

@@ -2,44 +2,20 @@ package core
 
 import (
 	"math"
-	"sync"
 
 	"dhsketch/internal/dht"
-	"dhsketch/internal/obs"
-	"dhsketch/internal/sim"
+	"dhsketch/internal/store"
 )
 
-// TupleKey identifies one DHS bit: which metric, which bitmap vector, and
-// which bit position. The on-the-wire form is the paper's
-// <metric_id, vector_id, bit, time_out> tuple; time_out is the value, not
-// part of the key.
-type TupleKey struct {
-	Metric uint64
-	Vector int32
-	Bit    uint8
-}
+// TupleKey identifies one DHS bit: which metric, which bitmap vector,
+// and which bit position — see store.Key, of which this is an alias.
+type TupleKey = store.Key
 
-// Store is the per-node DHS state: the set of bits this node is
-// responsible for, each with its soft-state expiry time. A node stores at
-// most one tuple per (metric, vector, bit); repeated insertions of items
-// mapping to the same bit merely refresh the timestamp (§3.2: "if multiple
-// items set the bit stored on a given node, the storing node will only
-// maintain data for one bit and update its timestamp field accordingly").
-//
-// All methods are safe for concurrent use: probes garbage-collect expired
-// tuples on the way, so even the read paths mutate the map and take the
-// mutex. This is what lets any number of counting passes run against one
-// overlay at once.
-type Store struct {
-	mu     sync.Mutex
-	tuples map[TupleKey]int64 // key → expiry tick (math.MaxInt64 = no expiry)
-	// owner and env are set at creation by (*DHS).storeOf so the
-	// garbage-collecting read paths can report TTL expiry to the
-	// environment's tracer. Both stay nil/zero for stores created by the
-	// untraced package-level storeOf.
-	owner uint64
-	env   *sim.Env
-}
+// Store is the per-node DHS state, an alias of store.Store: a two-level
+// (metric, bit) → bitset index answering counting probes in O(m/64)
+// words with heap-tracked TTL expiry. See package store for the layout
+// and its invariants.
+type Store = store.Store
 
 // storeOf returns the DHS store attached to the node, creating an
 // untraced one on first use. Creation mutates the node's app slot, so
@@ -49,7 +25,7 @@ func storeOf(n dht.Node) *Store {
 	if s, ok := n.App().(*Store); ok {
 		return s
 	}
-	s := &Store{tuples: make(map[TupleKey]int64)}
+	s := store.New()
 	n.SetApp(s)
 	return s
 }
@@ -63,107 +39,18 @@ func (d *DHS) storeOf(n dht.Node) *Store {
 	if s, ok := n.App().(*Store); ok {
 		return s
 	}
-	s := &Store{tuples: make(map[TupleKey]int64), owner: n.ID(), env: d.env}
+	s := store.NewTraced(n.ID(), d.env)
 	n.SetApp(s)
 	return s
-}
-
-// expire reports one garbage-collection sweep that deleted n expired
-// tuples as a single aggregate event: per-tuple emission from a map sweep
-// would follow map iteration order and break trace determinism.
-func (s *Store) expire(now int64, n int) {
-	if n == 0 || s.env == nil {
-		return
-	}
-	t := s.env.Tracer()
-	if t == nil {
-		return
-	}
-	t.Event(obs.Event{Tick: now, Kind: obs.KindExpire, Node: s.owner, Bit: -1, Arg: int64(n)})
 }
 
 // storeIfPresent returns the node's store or nil, never creating one — a
 // node that was never inserted to has nothing to answer a probe with, and
 // not touching the app slot keeps concurrent probes of the same virgin
-// node race-free.
+// node race-free. A nil *Store answers probes like an empty one.
 func storeIfPresent(n dht.Node) *Store {
 	s, _ := n.App().(*Store)
 	return s
-}
-
-// Set records (or refreshes) one bit with the given expiry tick.
-func (s *Store) Set(k TupleKey, expiry int64) {
-	s.mu.Lock()
-	s.tuples[k] = expiry
-	s.mu.Unlock()
-}
-
-// Has reports whether the bit is present and unexpired at time now.
-// Expired tuples are garbage-collected on the way (implicit deletion,
-// §3.3: "deleting an item incurs no extra cost").
-func (s *Store) Has(k TupleKey, now int64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	exp, ok := s.tuples[k]
-	if !ok {
-		return false
-	}
-	if exp < now {
-		delete(s.tuples, k)
-		s.expire(now, 1)
-		return false
-	}
-	return true
-}
-
-// VectorsWithBit returns, for the given metric and bit position, the set
-// of vector indices whose bit is present and live at this node. The reply
-// to a counting probe carries exactly this information, one bit per
-// vector (⌈m/8⌉ bytes per metric). A nil receiver answers like an empty
-// store, so probe paths can use storeIfPresent without a guard.
-func (s *Store) VectorsWithBit(metric uint64, bit uint8, now int64) []int32 {
-	if s == nil {
-		return nil
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []int32
-	expired := 0
-	for k, exp := range s.tuples {
-		if k.Metric != metric || k.Bit != bit {
-			continue
-		}
-		if exp < now {
-			delete(s.tuples, k)
-			expired++
-			continue
-		}
-		out = append(out, k.Vector)
-	}
-	s.expire(now, expired)
-	return out
-}
-
-// Len returns the number of live tuples at time now, garbage-collecting
-// expired ones.
-func (s *Store) Len(now int64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	expired := 0
-	for k, exp := range s.tuples {
-		if exp < now {
-			delete(s.tuples, k)
-			expired++
-		}
-	}
-	s.expire(now, expired)
-	return len(s.tuples)
-}
-
-// Bytes returns the storage footprint of the live tuples at time now in
-// wire-model bytes.
-func (s *Store) Bytes(now int64) int64 {
-	return int64(s.Len(now)) * TupleBytes
 }
 
 // expiryFor converts a TTL into an absolute expiry tick.

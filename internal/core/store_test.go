@@ -6,10 +6,11 @@ import (
 
 	"dhsketch/internal/chord"
 	"dhsketch/internal/sim"
+	"dhsketch/internal/store"
 )
 
 func TestStoreSetHas(t *testing.T) {
-	s := &Store{tuples: map[TupleKey]int64{}}
+	s := store.New()
 	k := TupleKey{Metric: 1, Vector: 2, Bit: 3}
 	if s.Has(k, 0) {
 		t.Error("empty store reports a bit")
@@ -22,13 +23,13 @@ func TestStoreSetHas(t *testing.T) {
 		t.Error("expired bit still reported")
 	}
 	// Expired lookup must garbage-collect the tuple.
-	if len(s.tuples) != 0 {
+	if s.Len(0) != 0 {
 		t.Error("expired tuple not collected")
 	}
 }
 
 func TestStoreRefreshExtendsExpiry(t *testing.T) {
-	s := &Store{tuples: map[TupleKey]int64{}}
+	s := store.New()
 	k := TupleKey{Metric: 9}
 	s.Set(k, 10)
 	s.Set(k, 50) // refresh
@@ -38,7 +39,7 @@ func TestStoreRefreshExtendsExpiry(t *testing.T) {
 }
 
 func TestStoreVectorsWithBit(t *testing.T) {
-	s := &Store{tuples: map[TupleKey]int64{}}
+	s := store.New()
 	s.Set(TupleKey{Metric: 7, Vector: 0, Bit: 4}, 100)
 	s.Set(TupleKey{Metric: 7, Vector: 3, Bit: 4}, 100)
 	s.Set(TupleKey{Metric: 7, Vector: 5, Bit: 2}, 100) // different bit
@@ -56,7 +57,7 @@ func TestStoreVectorsWithBit(t *testing.T) {
 }
 
 func TestStoreLenAndBytes(t *testing.T) {
-	s := &Store{tuples: map[TupleKey]int64{}}
+	s := store.New()
 	s.Set(TupleKey{Vector: 1}, 100)
 	s.Set(TupleKey{Vector: 2}, 10)
 	if s.Len(0) != 2 {

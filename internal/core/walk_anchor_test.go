@@ -124,7 +124,7 @@ func TestWalkAnchorResetsOnReentry(t *testing.T) {
 	states := []*metricState{newMetricState(MetricID("anchor"), d.cfg.M)}
 	var visited []uint64
 	rng, _ := d.countPass()
-	cost, out := d.probeIntervalLim(overlay.nodes[0], 0, 16, states, rng, &passTracer{},
+	cost, out := d.probeIntervalLim(overlay.nodes[0], 0, 16, states, d.newPassCtx(), rng, &passTracer{},
 		func(n dht.Node) bool {
 			visited = append(visited, n.ID())
 			return false // never resolved: the walk runs until wrap or budget

@@ -24,6 +24,18 @@ func TestMapOrder(t *testing.T) {
 	linttest.Run(t, testdata, lint.MapOrderAnalyzer, "maporder/a")
 }
 
+// TestStoreFixture runs the two analyzers that watch the real tuple
+// store over a store-shaped fixture: GC deadlines must come from the
+// deterministic clock (never the wall clock or the global random
+// source), and index enumerations must collect-then-sort rather than
+// leak map iteration order. One fixture, the union of both analyzers'
+// findings.
+func TestStoreFixture(t *testing.T) {
+	linttest.RunAnalyzers(t, testdata,
+		[]*lint.Analyzer{lint.DeterminismAnalyzer, lint.MapOrderAnalyzer},
+		"dhsketch/internal/store")
+}
+
 func TestDHTErrors(t *testing.T) {
 	linttest.Run(t, testdata, lint.DHTErrorsAnalyzer, "dhsketch/internal/core")
 }
@@ -42,6 +54,9 @@ func TestPlantedPositions(t *testing.T) {
 	linttest.MustFindAt(t, testdata, lint.DeterminismAnalyzer, "determinism/planted", "planted.go", 7, 9)
 	linttest.MustFindAt(t, testdata, lint.DeterminismAnalyzer, "dhsketch/internal/obs", "obs.go", 41, 7)
 	linttest.MustFindAt(t, testdata, lint.MapOrderAnalyzer, "maporder/planted", "planted.go", 7, 2)
+	linttest.MustFindAt(t, testdata, lint.MapOrderAnalyzer, "dhsketch/internal/store", "store.go", 61, 2)
+	linttest.MustFindAt(t, testdata, lint.DeterminismAnalyzer, "dhsketch/internal/store", "store.go", 96, 9)
+	linttest.MustFindAt(t, testdata, lint.DeterminismAnalyzer, "dhsketch/internal/store", "store.go", 103, 5)
 	linttest.MustFindAt(t, testdata, lint.DHTErrorsAnalyzer, "dhsketch/internal/core", "core.go", 15, 2)
 	linttest.MustFindAt(t, testdata, lint.PanicMsgAnalyzer, "panicmsg/planted", "planted.go", 5, 14)
 	linttest.MustFindAt(t, testdata, lint.LockedCopyAnalyzer, "lockedcopy/planted", "planted.go", 10, 27)
@@ -64,6 +79,7 @@ func TestMatchScopes(t *testing.T) {
 		{lint.MapOrderAnalyzer, "dhsketch/internal/experiments", true},
 		{lint.MapOrderAnalyzer, "dhsketch/internal/stats", true},
 		{lint.MapOrderAnalyzer, "dhsketch/cmd/dhsbench", true},
+		{lint.MapOrderAnalyzer, "dhsketch/internal/store", true},
 		{lint.MapOrderAnalyzer, "dhsketch/internal/core", false},
 		{lint.DHTErrorsAnalyzer, "dhsketch/internal/core", true},
 		{lint.DHTErrorsAnalyzer, "dhsketch/internal/sim", false},

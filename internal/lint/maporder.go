@@ -13,7 +13,9 @@ import (
 // order-sensitive scalar (string or float — float addition does not
 // commute bit-exactly) produces run-to-run different bytes. In the
 // table-rendering layers (internal/experiments, internal/stats, cmd/...)
-// such loops must iterate a sorted key slice instead.
+// and the per-node tuple store (internal/store, whose enumerations feed
+// whole-overlay placement comparisons) such loops must iterate a sorted
+// key slice instead.
 //
 // The canonical fix is recognized and not flagged: appending map keys to
 // a slice is fine when the same slice is passed to a sort or slices call
@@ -32,6 +34,7 @@ var MapOrderAnalyzer = &Analyzer{
 func matchMapOrder(path string) bool {
 	return pathHasSuffix(path, "internal/experiments") ||
 		pathHasSuffix(path, "internal/stats") ||
+		pathHasSuffix(path, "internal/store") ||
 		strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/")
 }
 

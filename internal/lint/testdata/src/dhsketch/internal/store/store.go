@@ -1,0 +1,106 @@
+// Package store mirrors the real per-node tuple store's shape for the
+// determinism and maporder golden tests. The store sits on both hot
+// paths the analyzers guard: its garbage collection must be driven by
+// the deterministic simulation clock (never the wall clock, never the
+// process-global random source), and any enumeration of its two-level
+// map index must not leak Go's randomized map iteration order into
+// output. The approved patterns are written out unflagged next to each
+// planted shortcut.
+package store
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// leafKey addresses one leaf of the index: all vectors of one
+// (metric, bit) pair.
+type leafKey struct {
+	metric uint64
+	bit    uint8
+}
+
+// leaf holds one (metric, bit) pair's vectors as a bitset plus their
+// expiry ticks.
+type leaf struct {
+	bits []uint64
+	exp  []int64
+}
+
+// Store is the two-level index: map keyed by (metric, bit), bitset leaf.
+type Store struct {
+	leaves map[leafKey]*leaf
+	live   int
+}
+
+// Keys enumerates the index in deterministic order — the canonical
+// collect-then-sort pattern. Appending map keys to a slice is fine when
+// the same slice is sorted before use; maporder recognizes the
+// intervening sort and stays quiet.
+func (s *Store) Keys() []leafKey {
+	lks := make([]leafKey, 0, len(s.leaves))
+	for lk := range s.leaves {
+		lks = append(lks, lk)
+	}
+	sort.Slice(lks, func(i, j int) bool {
+		if lks[i].metric != lks[j].metric {
+			return lks[i].metric < lks[j].metric
+		}
+		return lks[i].bit < lks[j].bit
+	})
+	return lks
+}
+
+// keysUnsorted is the planted maporder violation: the collected keys
+// escape in map order, so two runs of the same simulation would
+// enumerate tuples differently.
+func (s *Store) keysUnsorted() []leafKey {
+	var out []leafKey
+	for lk := range s.leaves { // want `appends to a slice declared outside the loop`
+		out = append(out, lk)
+	}
+	return out
+}
+
+// liveCount folds integers across the map — order-insensitive, and not
+// flagged: integer addition commutes bit-exactly.
+func (s *Store) liveCount() int {
+	n := 0
+	for _, lf := range s.leaves {
+		for _, w := range lf.bits {
+			n += bits.OnesCount64(w)
+		}
+	}
+	return n
+}
+
+// sweepAt garbage-collects against a caller-supplied tick from the
+// deterministic sim.Clock: the approved pattern, no findings.
+func (s *Store) sweepAt(now int64) {
+	for _, lf := range s.leaves {
+		for v, exp := range lf.exp {
+			if exp < now && lf.bits[v>>6]&(1<<uint(v&63)) != 0 {
+				lf.bits[v>>6] &^= 1 << uint(v&63)
+				s.live--
+			}
+		}
+	}
+}
+
+// sweepWallClock is the classic soft-state shortcut: deriving the GC
+// deadline from the wall clock, which makes which tuples survive depend
+// on when the run happens.
+func (s *Store) sweepWallClock() {
+	now := time.Now().UnixNano() // want `time.Now reads the wall clock`
+	s.sweepAt(now)
+}
+
+// sweepSampled jitters GC through the process-global random source,
+// whose per-process seed would break byte-identical replay.
+func (s *Store) sweepSampled(now int64) {
+	if rand.IntN(2) == 0 { // want `rand.IntN uses the process-global random source`
+		s.sweepAt(now)
+	}
+}

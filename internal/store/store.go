@@ -1,0 +1,390 @@
+// Package store implements the per-node DHS tuple store as an
+// access-path-shaped index. The paper's data model is a flat set of
+// <metric_id, vector_id, bit, time_out> tuples (§3.2); the operations
+// the data plane actually performs against it are not flat at all:
+//
+//   - a counting probe asks "which vectors of metric μ have bit r set?"
+//     once per still-unresolved metric per probed node — the single
+//     hottest read in the system;
+//   - an insertion sets (or refreshes) exactly one tuple;
+//   - TTL garbage collection must find expired tuples without scanning
+//     live ones (§3.3's implicit deletion is free on the wire; it should
+//     be near-free on the CPU too).
+//
+// The index is therefore two-level: a map keyed by (metric, bit) whose
+// leaf holds the vectors as a bitset of ⌈m/64⌉ words plus an optional
+// per-vector expiry array, and a min-heap of (expiry, leaf, vector)
+// entries so expiry sweeps touch only entries that are actually due.
+// A probe reply is answered in O(m/64) word copies out of the leaf —
+// independent of how many metrics, bits, or tuples the node carries —
+// and, via AppendBitsWithBit, with zero heap allocations at steady
+// state.
+//
+// The observable semantics are exactly the flat map's: Set refreshes in
+// place, the read paths garbage-collect expired tuples on the way and
+// report each sweep as one aggregate expire event, and a nil *Store
+// answers probes like an empty one.
+package store
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"dhsketch/internal/obs"
+	"dhsketch/internal/sim"
+)
+
+// TupleBytes is the wire size of one DHS tuple under the §5.1 size
+// model: metric_id, vector_id, bit, and time_out packed into 64 bits.
+const TupleBytes = 8
+
+// forever is the expiry tick meaning "no expiry" (TTL 0).
+const forever = math.MaxInt64
+
+// Key identifies one DHS bit: which metric, which bitmap vector, and
+// which bit position. The on-the-wire form is the paper's
+// <metric_id, vector_id, bit, time_out> tuple; time_out is the value,
+// not part of the key.
+type Key struct {
+	Metric uint64
+	Vector int32
+	Bit    uint8
+}
+
+// leafKey addresses one leaf of the index: all vectors of one
+// (metric, bit) pair. It is exactly the access path of a counting
+// probe.
+type leafKey struct {
+	metric uint64
+	bit    uint8
+}
+
+// leaf holds the vectors of one (metric, bit) pair as a bitset. exp is
+// nil until a finite expiry is stored — the common TTL-0 case pays no
+// per-vector expiry memory and no GC work at all. When non-nil, exp has
+// 64 entries per bitset word; a set bit v is live at time now iff
+// exp == nil or exp[v] >= now.
+type leaf struct {
+	bits []uint64
+	exp  []int64
+}
+
+// grow extends the bitset (and the expiry array, if present) to cover
+// word index w.
+func (lf *leaf) grow(w int) {
+	for len(lf.bits) <= w {
+		lf.bits = append(lf.bits, 0)
+	}
+	if lf.exp != nil {
+		lf.growExp()
+	}
+}
+
+// growExp brings the expiry array to 64 slots per bitset word, filling
+// new slots with forever (bits set before any finite expiry existed
+// never expire).
+func (lf *leaf) growExp() {
+	for len(lf.exp) < 64*len(lf.bits) {
+		lf.exp = append(lf.exp, forever)
+	}
+}
+
+// expiry returns the expiry tick of vector v (which must have its bit
+// set).
+func (lf *leaf) expiry(v int32) int64 {
+	if lf.exp == nil {
+		return forever
+	}
+	return lf.exp[v]
+}
+
+// expEntry is one pending expiry: vector v of leaf lf falls due at
+// tick at. Entries are lazily invalidated — a refresh rewrites
+// lf.exp[v], a sweep clears the bit — and skipped when popped stale, so
+// neither path has to search the heap.
+type expEntry struct {
+	at int64
+	lf *leaf
+	v  int32
+}
+
+// expHeap is a min-heap of pending expiries ordered by due tick. The
+// sift operations are hand-rolled rather than container/heap's: the
+// interface-based API would box every entry on push, and Set is on the
+// insertion hot path.
+type expHeap []expEntry
+
+// push adds an entry and restores the heap order.
+func (h *expHeap) push(e expEntry) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].at <= q[i].at {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the entry with the smallest due tick.
+func (h *expHeap) pop() expEntry {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = expEntry{} // drop the leaf reference
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q[l].at < q[smallest].at {
+			smallest = l
+		}
+		if r < n && q[r].at < q[smallest].at {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
+}
+
+// Store is the per-node DHS state: the set of bits this node is
+// responsible for, each with its soft-state expiry time. A node stores
+// at most one tuple per (metric, vector, bit); repeated insertions of
+// items mapping to the same bit merely refresh the timestamp (§3.2).
+//
+// All methods are safe for concurrent use: probes garbage-collect
+// expired tuples on the way, so even the read paths mutate the index
+// and take the mutex. This is what lets any number of counting passes
+// run against one overlay at once.
+type Store struct {
+	mu     sync.Mutex
+	leaves map[leafKey]*leaf
+	live   int     // live tuples, net of every completed sweep
+	due    expHeap // pending finite expiries, lazily invalidated
+
+	// owner and env are set by NewTraced so the garbage-collecting read
+	// paths can report TTL expiry to the environment's tracer. Both stay
+	// zero/nil for untraced stores.
+	owner uint64
+	env   *sim.Env
+}
+
+// New returns an empty, untraced store.
+func New() *Store {
+	return &Store{leaves: make(map[leafKey]*leaf)}
+}
+
+// NewTraced returns an empty store that reports its TTL expiry sweeps
+// against the owning node's ID. The tracer is read from the environment
+// at GC time, not captured at creation, so stores created before
+// SetTracer still report.
+func NewTraced(owner uint64, env *sim.Env) *Store {
+	return &Store{leaves: make(map[leafKey]*leaf), owner: owner, env: env}
+}
+
+// expire reports one garbage-collection sweep that deleted n expired
+// tuples as a single aggregate event: per-tuple emission would leak the
+// sweep's internal visit order into the trace.
+func (s *Store) expire(now int64, n int) {
+	if n == 0 || s.env == nil {
+		return
+	}
+	t := s.env.Tracer()
+	if t == nil {
+		return
+	}
+	t.Event(obs.Event{Tick: now, Kind: obs.KindExpire, Node: s.owner, Bit: -1, Arg: int64(n)})
+}
+
+// leafOf returns the leaf for (metric, bit), creating it on first use.
+func (s *Store) leafOf(metric uint64, bit uint8) *leaf {
+	lk := leafKey{metric: metric, bit: bit}
+	lf := s.leaves[lk]
+	if lf == nil {
+		lf = &leaf{}
+		s.leaves[lk] = lf
+	}
+	return lf
+}
+
+// Set records (or refreshes) one bit with the given expiry tick.
+func (s *Store) Set(k Key, expiry int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lf := s.leafOf(k.Metric, k.Bit)
+	w := int(k.Vector) >> 6
+	mask := uint64(1) << (uint(k.Vector) & 63)
+	lf.grow(w)
+	if lf.bits[w]&mask == 0 {
+		lf.bits[w] |= mask
+		s.live++
+	}
+	if expiry == forever {
+		if lf.exp != nil {
+			lf.exp[k.Vector] = forever
+		}
+		return
+	}
+	if lf.exp == nil {
+		lf.growExp()
+	}
+	lf.exp[k.Vector] = expiry
+	s.due.push(expEntry{at: expiry, lf: lf, v: k.Vector})
+}
+
+// Has reports whether the bit is present and unexpired at time now.
+// Expired tuples are garbage-collected on the way (implicit deletion,
+// §3.3: "deleting an item incurs no extra cost").
+func (s *Store) Has(k Key, now int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lf := s.leaves[leafKey{metric: k.Metric, bit: k.Bit}]
+	if lf == nil {
+		return false
+	}
+	w := int(k.Vector) >> 6
+	mask := uint64(1) << (uint(k.Vector) & 63)
+	if w >= len(lf.bits) || lf.bits[w]&mask == 0 {
+		return false
+	}
+	if lf.expiry(k.Vector) < now {
+		lf.bits[w] &^= mask
+		s.live--
+		s.expire(now, 1)
+		return false
+	}
+	return true
+}
+
+// AppendBitsWithBit answers a counting probe for (metric, bit) by
+// appending the leaf's bitset words to dst — bit v of word ⌊v/64⌋ set
+// iff vector v's bit is present and live at time now — and returns the
+// extended slice. It writes into dst's existing capacity, so a caller
+// reusing a scratch buffer pays zero heap allocations at steady state.
+// Expired tuples of this (metric, bit) pair are garbage-collected on
+// the way, exactly like VectorsWithBit. A nil receiver answers like an
+// empty store, so probe paths can use it without a guard.
+func (s *Store) AppendBitsWithBit(dst []uint64, metric uint64, bit uint8, now int64) []uint64 {
+	dst = dst[:0]
+	if s == nil {
+		return dst
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lf := s.leaves[leafKey{metric: metric, bit: bit}]
+	if lf == nil {
+		return dst
+	}
+	if lf.exp == nil {
+		return append(dst, lf.bits...)
+	}
+	expired := 0
+	for wi, w := range lf.bits {
+		for t := w; t != 0; t &= t - 1 {
+			v := wi<<6 + bits.TrailingZeros64(t)
+			if lf.exp[v] < now {
+				w &^= 1 << uint(v&63)
+				expired++
+			}
+		}
+		lf.bits[wi] = w
+		dst = append(dst, w)
+	}
+	s.live -= expired
+	s.expire(now, expired)
+	return dst
+}
+
+// VectorsWithBit returns, for the given metric and bit position, the
+// set of vector indices whose bit is present and live at this node, in
+// ascending order. The reply to a counting probe carries exactly this
+// information, one bit per vector (⌈m/8⌉ bytes per metric). A nil
+// receiver answers like an empty store. Hot paths should prefer
+// AppendBitsWithBit, which reuses a caller-owned buffer.
+func (s *Store) VectorsWithBit(metric uint64, bit uint8, now int64) []int32 {
+	words := s.AppendBitsWithBit(nil, metric, bit, now)
+	var out []int32
+	for wi, w := range words {
+		for ; w != 0; w &= w - 1 {
+			out = append(out, int32(wi<<6+bits.TrailingZeros64(w)))
+		}
+	}
+	return out
+}
+
+// sweep garbage-collects every tuple expired at time now by draining
+// the due heap, and returns how many it deleted. Stale entries —
+// refreshed to a later tick or already collected by a read path — cost
+// one pop each and delete nothing.
+func (s *Store) sweep(now int64) int {
+	expired := 0
+	for len(s.due) > 0 && s.due[0].at < now {
+		e := s.due.pop()
+		lf := e.lf
+		w := int(e.v) >> 6
+		mask := uint64(1) << (uint(e.v) & 63)
+		if w < len(lf.bits) && lf.bits[w]&mask != 0 && lf.exp != nil && lf.exp[e.v] == e.at {
+			lf.bits[w] &^= mask
+			expired++
+		}
+	}
+	s.live -= expired
+	return expired
+}
+
+// Len returns the number of live tuples at time now, garbage-collecting
+// expired ones.
+func (s *Store) Len(now int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expire(now, s.sweep(now))
+	return s.live
+}
+
+// Bytes returns the storage footprint of the live tuples at time now in
+// wire-model bytes.
+func (s *Store) Bytes(now int64) int64 {
+	return int64(s.Len(now)) * TupleBytes
+}
+
+// Keys returns the live tuples at time now in deterministic
+// (metric, bit, vector) order, garbage-collecting expired ones — the
+// enumeration tests use to compare whole-overlay placements.
+func (s *Store) Keys(now int64) []Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expire(now, s.sweep(now))
+	lks := make([]leafKey, 0, len(s.leaves))
+	for lk := range s.leaves {
+		lks = append(lks, lk)
+	}
+	sort.Slice(lks, func(i, j int) bool {
+		if lks[i].metric != lks[j].metric {
+			return lks[i].metric < lks[j].metric
+		}
+		return lks[i].bit < lks[j].bit
+	})
+	out := make([]Key, 0, s.live)
+	for _, lk := range lks {
+		lf := s.leaves[lk]
+		for wi, w := range lf.bits {
+			for ; w != 0; w &= w - 1 {
+				v := int32(wi<<6 + bits.TrailingZeros64(w))
+				out = append(out, Key{Metric: lk.metric, Vector: v, Bit: lk.bit})
+			}
+		}
+	}
+	return out
+}
