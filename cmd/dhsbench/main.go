@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dhsbench [-experiment all|e1|...|e12|e12f|e13] [-nodes 1024] [-scale 100]
+//	dhsbench [-experiment all|e1|...|e12|e12f|e13|e15] [-nodes 1024] [-scale 100]
 //	         [-m 512] [-trials 20] [-buckets 100] [-seed 1] [-lim 5]
 //	         [-workers N] [-trace file.jsonl] [-tracebuf N]
 //	         [-cpuprofile file] [-memprofile file]
@@ -228,6 +228,14 @@ func main() {
 			r.Render(os.Stdout)
 			return nil
 		}},
+		{"e15", "counting under stabilization churn: crash-stop faults, successor-list fallback, replica repair", func() error {
+			r, err := experiments.RunE15(p, nil)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		}},
 	}
 
 	// finish flushes the trace file; fail additionally dumps the ring
@@ -276,7 +284,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fail(2, "unknown experiment %q; use all, e1..e13, or e12f\n", *exp)
+		fail(2, "unknown experiment %q; use all, e1..e13, e12f, or e15\n", *exp)
 	}
 	finish()
 

@@ -31,12 +31,12 @@ type Node struct {
 
 	// fingers is the node's cached routing table: fingers[i] is the
 	// live owner of id + 2^i (post-stabilization state), so fingers[0]
-	// is the node's successor. The Ring rebuilds every live node's
-	// table at membership-change time (see rebuildFingers); between
-	// changes the tables are read-only, which is what makes routing
-	// safe for the concurrent counting passes without per-hop binary
-	// searches. A dead node's table is stale and never read — routing
-	// from a dead node errors first, and Revive triggers a rebuild.
+	// is the node's successor. The Ring repairs the affected tables
+	// incrementally at membership-change time (see retargetFingers);
+	// between changes the tables are read-only, which is what makes
+	// routing safe for the concurrent counting passes without per-hop
+	// binary searches. A dead node's table is stale and never read —
+	// routing from a dead node errors first, and Revive re-splices it.
 	fingers [fingerBits]*Node
 }
 
@@ -119,18 +119,93 @@ func New(env *sim.Env, n int) *Ring {
 }
 
 // rebuildFingers recomputes every live node's finger table against the
-// current live ring. Called at the end of each membership change (and
-// once after batch construction), so the tables are always consistent
-// by the time concurrent routing can observe them; between rebuilds
-// they are read-only. Cost is O(N · 64 · log N) per membership event —
-// paid on the rare mutation path so the hot lookup path pays zero
-// binary searches per hop.
+// current live ring — the O(N · 64 · log N) ground truth. It runs once
+// after batch construction (New); membership changes use the incremental
+// updates below, which the differential test in incremental_test.go
+// checks against this function entry-for-entry and route-for-route.
 func (r *Ring) rebuildFingers() {
 	for _, n := range r.live {
-		for i := range n.fingers {
-			n.fingers[i] = r.live[r.ownerIndex(n.id+uint64(1)<<uint(i))]
-		}
+		r.buildFingers(n)
 	}
+	r.fingerEpoch = r.epoch
+}
+
+// buildFingers computes one node's full finger table from the live ring
+// (64 binary searches).
+func (r *Ring) buildFingers(n *Node) {
+	for i := range n.fingers {
+		n.fingers[i] = r.live[r.ownerIndex(n.id+uint64(1)<<uint(i))]
+	}
+}
+
+// forEachLiveIn calls fn for every live node whose ID lies in the ring
+// interval [start, start+size). Iteration walks clockwise from the first
+// node at or after start; the clockwise distance id−start is monotone
+// along that walk, so the loop stops at the first node past the interval.
+func (r *Ring) forEachLiveIn(start, size uint64, fn func(*Node)) {
+	if size == 0 || len(r.live) == 0 {
+		return
+	}
+	idx := sort.Search(len(r.live), func(i int) bool { return r.live[i].id >= start })
+	for k := 0; k < len(r.live); k++ {
+		n := r.live[(idx+k)%len(r.live)]
+		if n.id-start >= size {
+			break
+		}
+		fn(n)
+	}
+}
+
+// retargetFingers redirects, in every live node's table, each finger
+// entry whose target identifier lies in the ring interval (lo, lo+span]
+// to the node `to`. This is exactly the set of entries a single
+// membership change can affect: a join of x (with predecessor p) moves
+// ownership of (p, x] from x's successor to x, and a failure of x moves
+// (p, x] back to the successor — no target outside that interval changes
+// owner. Finger entry i of node n targets n.id + 2^i, so the affected
+// nodes for each i are those with id ∈ (lo−2^i, lo−2^i+span] — found by
+// one binary search per bit. Cost is O(64 · (log N + changed entries))
+// per membership event instead of the full rebuild's O(N · 64 · log N).
+func (r *Ring) retargetFingers(lo, span uint64, to *Node) {
+	if span == 0 {
+		return
+	}
+	for i := 0; i < fingerBits; i++ {
+		step := uint64(1) << uint(i)
+		// n.id + 2^i ∈ (lo, lo+span] ⇔ n.id ∈ [lo−2^i+1, lo−2^i+span].
+		r.forEachLiveIn(lo-step+1, span, func(n *Node) {
+			n.fingers[i] = to
+		})
+	}
+}
+
+// predecessorOf returns the live node immediately preceding n on the
+// ring (n must be present in live; callers guarantee len(live) ≥ 2, so
+// the result is distinct from n).
+func (r *Ring) predecessorOf(n *Node) *Node {
+	idx := sort.Search(len(r.live), func(i int) bool { return r.live[i].id >= n.id })
+	idx--
+	if idx < 0 {
+		idx = len(r.live) - 1
+	}
+	return r.live[idx]
+}
+
+// spliceFingers integrates a just-added (joined or revived) node n into
+// the cached finger tables incrementally: entries targeting n's new
+// ownership range (pred, n] are redirected to n, then n's own table is
+// built from scratch.
+func (r *Ring) spliceFingers(n *Node) {
+	if len(r.live) == 1 {
+		for i := range n.fingers {
+			n.fingers[i] = n
+		}
+		r.fingerEpoch = r.epoch
+		return
+	}
+	pred := r.predecessorOf(n)
+	r.retargetFingers(pred.id, n.id-pred.id, n)
+	r.buildFingers(n)
 	r.fingerEpoch = r.epoch
 }
 
@@ -319,24 +394,35 @@ func (r *Ring) Predecessor(n dht.Node) (dht.Node, error) {
 	return r.live[idx], nil
 }
 
-// Join adds a new node with the given name and returns it.
+// Join adds a new node with the given name and returns it. Finger
+// maintenance is incremental: only the entries whose target falls in the
+// joiner's new ownership range are touched.
 func (r *Ring) Join(name string) dht.Node {
 	n := r.addNode(name)
-	r.rebuildFingers()
+	r.spliceFingers(n)
 	return n
 }
 
 // Fail marks the node down and removes it from the live ring. Its stored
 // application state becomes unreachable, exactly like an abrupt crash;
-// soft-state refresh or replication must recover the data.
+// soft-state refresh or replication must recover the data. Finger
+// maintenance is incremental: entries that pointed into the dead node's
+// range are redirected to its successor.
 func (r *Ring) Fail(n dht.Node) {
 	cn, ok := n.(*Node)
 	if !ok || !cn.alive {
 		return
 	}
 	cn.alive = false
+	pred := r.predecessorOf(cn) // before removal; equals cn iff ring size 1
 	r.removeLive(cn)
-	r.rebuildFingers()
+	if len(r.live) == 0 {
+		r.fingerEpoch = r.epoch
+		return
+	}
+	succ := r.live[r.ownerIndex(cn.id)]
+	r.retargetFingers(pred.id, cn.id-pred.id, succ)
+	r.fingerEpoch = r.epoch
 }
 
 // Revive brings a previously failed node back with empty application
@@ -353,13 +439,21 @@ func (r *Ring) Revive(n dht.Node) {
 	copy(r.live[idx+1:], r.live[idx:])
 	r.live[idx] = cn
 	r.epoch++
-	r.rebuildFingers()
+	r.spliceFingers(cn)
 }
 
 // Leave removes the node gracefully. In this simulation graceful departure
 // and failure differ only in intent; handoff of soft state is the DHS
 // layer's job via refresh.
 func (r *Ring) Leave(n dht.Node) {
+	r.Fail(n)
+}
+
+// Crash removes the node permanently (dht.Crasher). On the static ring —
+// whose routing state repairs atomically at membership-change time —
+// crash-stop and fail-stop coincide; a caller honoring crash-stop
+// semantics must never Revive a crashed node.
+func (r *Ring) Crash(n dht.Node) {
 	r.Fail(n)
 }
 

@@ -1,0 +1,72 @@
+package chord_test
+
+import (
+	"testing"
+
+	"dhsketch/internal/chord"
+	"dhsketch/internal/dht"
+	"dhsketch/internal/dht/dhttest"
+	"dhsketch/internal/faultdht"
+	"dhsketch/internal/sim"
+)
+
+// TestOverlayContracts runs the dht.Overlay conformance suite against
+// every overlay this repository ships: the static ring (atomically
+// consistent routing state), the stabilizing ring (protocol-maintained
+// state that must settle after membership events), and the fault-
+// injection wrapper in transparent (zero-fault) configuration, which
+// must not perturb any contract.
+func TestOverlayContracts(t *testing.T) {
+	dhttest.Run(t, dhttest.Harness{
+		Name: "StaticRing",
+		New: func(t *testing.T, env *sim.Env, n int) dht.Overlay {
+			return chord.New(env, n)
+		},
+		Crash: func(o dht.Overlay, n dht.Node) {
+			o.(*chord.Ring).Crash(n)
+		},
+	})
+
+	dhttest.Run(t, dhttest.Harness{
+		Name: "StabilizingRing",
+		New: func(t *testing.T, env *sim.Env, n int) dht.Overlay {
+			return chord.NewStabilizing(env, n, chord.ProtocolConfig{})
+		},
+		Crash: func(o dht.Overlay, n dht.Node) {
+			o.(*chord.StabilizingRing).Crash(n)
+		},
+		Settle: settleStabilizing,
+	})
+
+	dhttest.Run(t, dhttest.Harness{
+		Name: "FaultWrappedStatic",
+		New: func(t *testing.T, env *sim.Env, n int) dht.Overlay {
+			return faultdht.New(chord.New(env, n), env, faultdht.Config{})
+		},
+		Crash: func(o dht.Overlay, n dht.Node) {
+			o.(*faultdht.Overlay).Crash(n)
+		},
+	})
+
+	dhttest.Run(t, dhttest.Harness{
+		Name: "FaultWrappedStabilizing",
+		New: func(t *testing.T, env *sim.Env, n int) dht.Overlay {
+			return faultdht.New(chord.NewStabilizing(env, n, chord.ProtocolConfig{}), env, faultdht.Config{})
+		},
+		Crash: func(o dht.Overlay, n dht.Node) {
+			o.(*faultdht.Overlay).Crash(n)
+		},
+		Settle: settleStabilizing,
+	})
+}
+
+// settleStabilizing advances the clock and runs protocol rounds until
+// the maintainer reports quiescence (bounded — a non-converging ring is
+// a bug the caller's asserts will surface).
+func settleStabilizing(o dht.Overlay, env *sim.Env) {
+	m := o.(dht.Maintainer)
+	for i := 0; i < 256 && !m.Converged(); i++ {
+		env.Clock.Advance(8)
+		m.Step()
+	}
+}

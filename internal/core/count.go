@@ -97,6 +97,11 @@ func (d *DHS) CountAllFrom(src dht.Node, metrics []uint64) ([]Estimate, error) {
 	} else {
 		cost, q = d.scanDescending(src, states, limFor, rng, &pt)
 	}
+	if m, ok := d.overlay.(dht.Maintainer); ok && !m.Converged() {
+		// The pass ran against stale protocol state; flag the estimates
+		// so callers can weigh them accordingly.
+		q.repairWindow = true
+	}
 
 	ests := make([]Estimate, len(states))
 	for i, st := range states {
@@ -190,14 +195,17 @@ func (st *metricState) finalR(d *DHS, kind sketch.Kind) []int {
 
 // scanQuality aggregates the failure accounting of one counting pass.
 type scanQuality struct {
-	attempted int // probe budget spent, incl. failed steps
-	failed    int // steps lost to drops, timeouts, or down nodes
-	skipped   int // intervals where no node could be probed at all
+	attempted    int  // probe budget spent, incl. failed steps
+	failed       int  // steps lost to drops, timeouts, or down nodes
+	skipped      int  // intervals where no node could be probed at all
+	stale        int  // hops wasted on stale routing state (see Quality)
+	repairWindow bool // pass overlapped a stabilization repair window
 }
 
 func (q *scanQuality) add(out intervalOutcome) {
 	q.attempted += out.attempted
 	q.failed += out.failed
+	q.stale += out.stale
 	if out.visited == 0 {
 		q.skipped++
 	}
@@ -211,7 +219,9 @@ func (q scanQuality) forMetric(st *metricState) Quality {
 		ProbesFailed:      q.failed,
 		IntervalsSkipped:  q.skipped,
 		VectorsUnresolved: st.unresolved,
-		Degraded:          q.failed > 0 || q.skipped > 0,
+		StaleRetries:      q.stale,
+		RepairWindow:      q.repairWindow,
+		Degraded:          q.failed > 0 || q.skipped > 0 || q.stale > 0,
 	}
 }
 
@@ -375,6 +385,39 @@ type intervalOutcome struct {
 	attempted int // probe budget spent, incl. failed steps
 	failed    int // steps lost to drops, timeouts, or down nodes
 	visited   int // nodes successfully probed
+	stale     int // hops wasted on stale routing entries + list fallbacks
+}
+
+// routeFrom issues one routed lookup, preferring the overlay's Router
+// extension so hops wasted on stale routing entries are surfaced; on
+// overlays without it (atomically consistent routing state) the stale
+// count is zero by definition. Error and metering behavior is identical
+// either way — Router is LookupFrom with staleness attribution.
+func (d *DHS) routeFrom(src dht.Node, key uint64) (n dht.Node, hops, stale int, err error) {
+	if rt, ok := d.overlay.(dht.Router); ok {
+		route, err := rt.RouteFrom(src, key)
+		return route.Node, route.Hops, route.Stale, err
+	}
+	n, hops, err = d.overlay.LookupFrom(src, key)
+	return n, hops, 0, err
+}
+
+// walkFallback rescues a retry walk whose believed successor is dead: on
+// overlays with per-node successor lists it returns the first live entry
+// of cur's list — the node a real implementation would fail over to —
+// and nil when no list or no live entry is available (the walk then
+// re-enters the interval afresh, exactly as without the extension).
+func (d *DHS) walkFallback(cur dht.Node) dht.Node {
+	sl, ok := d.overlay.(dht.SuccessorLister)
+	if !ok {
+		return nil
+	}
+	for _, s := range sl.SuccessorList(cur) {
+		if s != nil && s != cur && s.Alive() {
+			return s
+		}
+	}
+	return nil
 }
 
 // passCtx caches the probe-reply size of the current counting pass so
@@ -466,8 +509,9 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 	// still visible in Quality.ProbesAttempted/ProbesFailed.
 	enter := func() (dht.Node, int, bool) {
 		target := sim.UniformIn(rng, lo, size)
-		n, hops, err := d.overlay.LookupFrom(src, target)
+		n, hops, stale, err := d.routeFrom(src, target)
 		out.attempted++
+		out.stale += stale
 		if err != nil {
 			pt.emit(obs.KindLookup, 0, int(bit), int64(hops), err)
 			fail(hops)
@@ -509,6 +553,23 @@ func (d *DHS) probeIntervalLim(src dht.Node, bit uint, lim int, states []*metric
 			if err != nil {
 				pt.emit(obs.KindWalkStep, 0, int(bit), 1, err)
 				fail(1)
+				// On a stabilizing overlay the death of a believed
+				// successor need not end the segment: fall back through
+				// cur's successor list to the first live entry. Without
+				// the extension (or with the list exhausted) the walk
+				// re-enters the interval afresh, as before.
+				if fb := d.walkFallback(cur); fb != nil {
+					out.stale++
+					pt.emit(obs.KindWalkStep, fb.ID(), int(bit), 1, nil)
+					if fb == home {
+						return cost, out // wrapped around a tiny ring
+					}
+					cur = fb
+					if probe(cur, 1) {
+						return cost, out
+					}
+					continue
+				}
 				cur = nil // the walk lost its footing; re-enter afresh
 				continue
 			}

@@ -36,6 +36,11 @@ type DHS struct {
 	// reproducible and concurrent passes never share a stream.
 	countSeq  uint64
 	countSalt uint64
+
+	// repairStats accumulates replica-repair work when this handle's
+	// RepairFunc is installed on a stabilizing overlay (all atomics —
+	// repair runs during protocol rounds that may overlap counting).
+	repairStats RepairStats
 }
 
 // New validates the configuration and returns a DHS handle.
@@ -166,6 +171,19 @@ type Quality struct {
 	// never-observed vector is an ordinary empty bucket; it only
 	// signals degradation in combination with failed probes.
 	VectorsUnresolved int
+	// StaleRetries counts overlay hops the pass wasted on stale routing
+	// state — dead successors or fingers a stabilizing overlay had not
+	// yet repaired, discovered by timeout and routed around — plus
+	// successor-list fallbacks the retry walk took past a dead believed
+	// successor. Always zero on overlays with atomically consistent
+	// routing state.
+	StaleRetries int
+	// RepairWindow is true when the pass ran while the overlay's
+	// stabilization protocol had repairs pending (dht.Maintainer not
+	// converged): routing state was stale and recently crashed nodes'
+	// tuples may not have been re-replicated yet, so extra degradation
+	// is expected until the protocol settles.
+	RepairWindow bool
 	// Degraded is true when any failure affected the pass — the
 	// estimate is still usable but was computed from partial evidence.
 	Degraded bool

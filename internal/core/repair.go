@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"dhsketch/internal/dht"
+	"dhsketch/internal/obs"
+)
+
+// RepairStats accounts the replica-repair work a DHS handle performed on
+// behalf of a stabilizing overlay. All fields are written atomically:
+// repair runs inside protocol rounds that may overlap concurrent
+// counting passes. Read a consistent copy with (*DHS).RepairStats.
+type RepairStats struct {
+	Calls   int64 // repair invocations (one per node whose list grew)
+	Targets int64 // new successors that received a copy
+	Tuples  int64 // tuples transferred in total
+	Bytes   int64 // wire bytes of the transfers (§5.1 size model)
+}
+
+// RepairStats returns an atomically read snapshot of the handle's
+// replica-repair accounting.
+func (d *DHS) RepairStats() RepairStats {
+	return RepairStats{
+		Calls:   atomic.LoadInt64(&d.repairStats.Calls),
+		Targets: atomic.LoadInt64(&d.repairStats.Targets),
+		Tuples:  atomic.LoadInt64(&d.repairStats.Tuples),
+		Bytes:   atomic.LoadInt64(&d.repairStats.Bytes),
+	}
+}
+
+// RepairFunc returns the replica-repair callback to install on a
+// stabilizing overlay (chord.StabilizingRing.SetRepair): when a node's
+// successor list gains members after churn, the callback copies the
+// node's live tuples to each new successor, restoring the §3.5
+// replication degree that crashed replica holders eroded.
+//
+// The whole store is copied, not just tuples the node is the home of:
+// a stored tuple does not record its home, and over-replicating is
+// harmless — bit presence is duplicate-insensitive, and stray copies
+// age out within one TTL. Expiries are preserved, so repair never
+// extends a tuple's soft-state lifetime.
+//
+// The transfer is data-plane traffic (it moves application state, like
+// insertion-time replication) and is metered against the environment's
+// Traffic record as one bulk message per receiving node; the protocol
+// round that triggered it meters its own exchanges separately.
+//
+// The callback is invoked under the overlay's protocol lock and
+// therefore never routes — targets are handed to it directly.
+func (d *DHS) RepairFunc() func(n dht.Node, added []dht.Node) {
+	return func(n dht.Node, added []dht.Node) {
+		atomic.AddInt64(&d.repairStats.Calls, 1)
+		s := storeIfPresent(n)
+		if s == nil {
+			return
+		}
+		now := d.env.Clock.Now()
+		entries := s.Entries(now)
+		if len(entries) == 0 {
+			return
+		}
+		msgBytes := MsgHeaderBytes + TupleBytes*len(entries)
+		tracer := d.env.Tracer()
+		for _, a := range added {
+			if a == nil || !a.Alive() {
+				continue
+			}
+			dst := d.storeOf(a)
+			for _, e := range entries {
+				dst.Set(e.Key, e.Expiry)
+			}
+			a.Counters().AddStoreOps()
+			d.env.Traffic.Account(1, msgBytes)
+			atomic.AddInt64(&d.repairStats.Targets, 1)
+			atomic.AddInt64(&d.repairStats.Tuples, int64(len(entries)))
+			atomic.AddInt64(&d.repairStats.Bytes, int64(msgBytes))
+			if tracer != nil {
+				tracer.Event(obs.Event{
+					Tick: now, Kind: obs.KindRepair,
+					Node: a.ID(), Bit: -1, Arg: int64(len(entries)),
+				})
+			}
+		}
+	}
+}

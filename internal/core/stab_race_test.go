@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dhsketch/internal/chord"
+	"dhsketch/internal/sim"
+	"dhsketch/internal/sketch"
+)
+
+// TestConcurrentCountingDuringStabilization is the churn race test run
+// under -race by make verify: counting passes execute concurrently with
+// protocol rounds that repair routing state and re-replicate tuples
+// onto the very nodes being counted. It exercises every cross-thread
+// surface at once — atomic liveness and app-slot reads against protocol
+// writes, the ring's RWMutex routing/maintenance split, store mutexes
+// under repair-vs-probe contention — and asserts counting never errors
+// even mid-repair.
+//
+// The virtual clock is deliberately NOT advanced while goroutines run:
+// sim.Clock is written single-threaded by design (DESIGN.md §4), so the
+// race is between counting and Step at a fixed tick, the same shape the
+// e15 experiment drives.
+func TestConcurrentCountingDuringStabilization(t *testing.T) {
+	env := sim.NewEnv(77)
+	ring := chord.NewStabilizing(env, 96, chord.ProtocolConfig{SuccListLen: 3})
+	d, err := New(Config{
+		Overlay:     ring,
+		Env:         env,
+		K:           16,
+		M:           32,
+		Kind:        sketch.KindSuperLogLog,
+		Replication: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring.SetRepair(d.RepairFunc())
+
+	metric := MetricID("race/churn")
+	src := ring.RandomNode()
+	const items = 3000
+	ids := make([]uint64, items)
+	for i := range ids {
+		ids[i] = ItemID(fmt.Sprintf("race-item-%d", i))
+	}
+	if _, err := d.BulkInsertFrom(src, metric, ids); err != nil {
+		t.Fatalf("bulk insert: %v", err)
+	}
+
+	// Churn, then advance the clock once, single-threaded, so protocol
+	// rounds are due but not yet run: the goroutines below race Step's
+	// repairs against live counting passes.
+	rng := env.Derive("race-churn")
+	for k := 0; k < 6; k++ {
+		nodes := ring.Nodes()
+		ring.Crash(nodes[rng.IntN(len(nodes))])
+		ring.Join(fmt.Sprintf("race-join-%d:4000", k))
+	}
+	env.Clock.Advance(64)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				est, err := d.Count(metric)
+				if err != nil {
+					t.Errorf("concurrent count errored: %v", err)
+					return
+				}
+				if est.Value <= 0 {
+					t.Errorf("concurrent count returned %v", est.Value)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 32; i++ {
+			ring.Step()
+		}
+	}()
+	wg.Wait()
+
+	// Settle fully and count once more: the estimate survives the churn
+	// and the repair stats show replicas actually moved.
+	for i := 0; i < 512 && !ring.Converged(); i++ {
+		env.Clock.Advance(8)
+		ring.Step()
+	}
+	if !ring.Converged() {
+		t.Fatal("ring did not converge after the race window")
+	}
+	est, err := d.Count(metric)
+	if err != nil {
+		t.Fatalf("post-settle count: %v", err)
+	}
+	if est.Quality.RepairWindow {
+		t.Error("converged ring still reports a repair window")
+	}
+	if rs := d.RepairStats(); rs.Calls == 0 || rs.Tuples == 0 {
+		t.Errorf("churn round moved no replicas: %+v", rs)
+	}
+	if ratio := est.Value / items; ratio < 0.5 || ratio > 2 {
+		t.Errorf("post-churn estimate %.0f wildly off %d items", est.Value, items)
+	}
+}

@@ -83,6 +83,67 @@ type Node interface {
 	Counters() *Counters
 }
 
+// Route reports one routed lookup's outcome on an overlay whose routing
+// state may be stale: the node reached, the overlay hops the route
+// consumed, and how many of those hops were wasted on stale routing
+// entries (dead successors or fingers discovered by timeout and routed
+// around).
+type Route struct {
+	Node  Node
+	Hops  int
+	Stale int
+}
+
+// Router is an optional Overlay extension for implementations whose
+// routing can traverse stale protocol state — a stabilizing ring between
+// repair rounds, or a networked overlay with failure detection by
+// timeout. RouteFrom is LookupFrom with the stale-hop count surfaced, so
+// callers can attribute wasted traffic to routing-table staleness
+// (Quality.StaleRetries in the counting layer). Overlays with atomically
+// consistent routing state need not implement it: their stale count is
+// always zero.
+type Router interface {
+	RouteFrom(src Node, key uint64) (Route, error)
+}
+
+// SuccessorLister is an optional Overlay extension for implementations
+// that maintain per-node successor lists (the stabilization protocol's
+// crash-tolerance state). SuccessorList returns the node's current
+// believed successors in ring order — possibly including dead entries
+// the protocol has not yet pruned — at zero simulated cost: it is the
+// local list the node itself would consult, not a network operation.
+// Callers walking the ring use it to fall back past a failed successor
+// instead of abandoning the walk.
+type SuccessorLister interface {
+	SuccessorList(n Node) []Node
+}
+
+// Crasher is an optional Overlay extension for crash-stop fault
+// injection: Crash kills the node permanently — it leaves the
+// membership, its application state becomes unreachable, and nothing
+// ever revives it. Distinct from transient down-windows, which end.
+type Crasher interface {
+	Crash(n Node)
+}
+
+// Maintainer is an optional Overlay extension for implementations that
+// repair their routing state with periodic protocol rounds driven by the
+// simulation clock (stabilize, fix-fingers, check-predecessor) instead
+// of atomic global rebuilds.
+type Maintainer interface {
+	// Step runs every protocol round that has come due at the current
+	// virtual time. Idempotent at a fixed tick; callers advance the
+	// clock and Step in a loop to let the protocol make progress.
+	Step()
+
+	// Converged reports whether the overlay's protocol state is
+	// quiescent: the most recent full stabilization sweep changed
+	// nothing and no membership event has happened since. While false,
+	// routing may traverse stale state and counting quality degrades
+	// (Quality.RepairWindow).
+	Converged() bool
+}
+
 // Overlay is the structured peer-to-peer network DHS runs over.
 type Overlay interface {
 	// Bits returns the identifier length L in bits (the paper's L).

@@ -103,21 +103,23 @@ type Overlay struct {
 	env   *sim.Env
 	cfg   Config
 
-	// mu guards rng and stats: exchange() runs on the counting surface,
-	// which may be driven by many goroutines at once.
-	mu    sync.Mutex
-	rng   *rand.Rand
-	stats Stats
+	// mu guards rng, stats, and the crashed set: exchange() runs on the
+	// counting surface, which may be driven by many goroutines at once.
+	mu      sync.Mutex
+	rng     *rand.Rand
+	stats   Stats
+	crashed map[uint64]bool
 }
 
 // New wraps inner in a fault-injection layer drawing all randomness from
 // env's master seed.
 func New(inner dht.Overlay, env *sim.Env, cfg Config) *Overlay {
 	return &Overlay{
-		inner: inner,
-		env:   env,
-		cfg:   cfg.withDefaults(),
-		rng:   env.Derive("faultdht"),
+		inner:   inner,
+		env:     env,
+		cfg:     cfg.withDefaults(),
+		rng:     env.Derive("faultdht"),
+		crashed: make(map[uint64]bool),
 	}
 }
 
@@ -144,15 +146,75 @@ func (o *Overlay) unit(class string, id uint64) float64 {
 func (o *Overlay) flaky(id uint64) bool { return o.unit("flaky", id) < o.cfg.TransientFrac }
 func (o *Overlay) slow(id uint64) bool  { return o.unit("slow", id) < o.cfg.SlowFrac }
 
-// Down reports whether the node is inside one of its transient down-
-// windows at the current virtual time.
-func (o *Overlay) Down(n dht.Node) bool {
-	if o.cfg.TransientFrac <= 0 || !o.flaky(n.ID()) {
+// DownAt reports whether a down-window with the given phase covers tick
+// now: the window occupies ticks t with (t+phase) mod period < downFor.
+// Exported as a pure function so the window boundaries are testable in
+// isolation: the node is unreachable for exactly downFor consecutive
+// ticks and reachable again at the first tick past the window.
+func DownAt(now, phase, period, downFor int64) bool {
+	return (now+phase)%period < downFor
+}
+
+// phase returns the node's deterministic down-window phase offset.
+func (o *Overlay) phase(id uint64) int64 {
+	return int64(o.unit("phase", id) * float64(o.cfg.DownPeriod))
+}
+
+// downNow reports whether the node is inside one of its transient down-
+// windows at the current virtual time. Pure function of (seed, id, now);
+// no lock needed.
+func (o *Overlay) downNow(id uint64) bool {
+	if o.cfg.TransientFrac <= 0 || !o.flaky(id) {
 		return false
 	}
-	phase := int64(o.unit("phase", n.ID()) * float64(o.cfg.DownPeriod))
-	t := (o.env.Clock.Now() + phase) % o.cfg.DownPeriod
-	return t < o.cfg.DownFor
+	return DownAt(o.env.Clock.Now(), o.phase(id), o.cfg.DownPeriod, o.cfg.DownFor)
+}
+
+// isCrashed reports crash-stop death; caller holds mu.
+func (o *Overlay) isCrashed(id uint64) bool { return o.crashed[id] }
+
+// Crashed reports whether the node was killed by Crash. Unlike a
+// down-window, crash-stop death never ends.
+func (o *Overlay) Crashed(id uint64) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.crashed[id]
+}
+
+// Down reports whether the node is unreachable at the current virtual
+// time — crashed for good, or inside one of its transient down-windows.
+func (o *Overlay) Down(n dht.Node) bool {
+	return o.Crashed(n.ID()) || o.downNow(n.ID())
+}
+
+// Crash kills the node permanently (dht.Crasher): every future exchange
+// addressed to it fails with dht.ErrNodeDown, forever — there is no
+// window end and no revival. When the inner overlay handles crash-stop
+// itself (a stabilizing ring), the crash is forwarded so the node also
+// leaves the membership and the inner overlay emits the crash trace;
+// otherwise this layer records the death and emits the trace itself.
+func (o *Overlay) Crash(n dht.Node) {
+	o.mu.Lock()
+	if o.crashed[n.ID()] {
+		o.mu.Unlock()
+		return
+	}
+	o.crashed[n.ID()] = true
+	o.mu.Unlock()
+	if c, ok := o.inner.(dht.Crasher); ok {
+		c.Crash(n)
+		return
+	}
+	t := o.env.Tracer()
+	if t == nil {
+		return
+	}
+	t.Event(obs.Event{
+		Tick: o.env.Clock.Now(),
+		Kind: obs.KindCrash,
+		Node: n.ID(),
+		Bit:  -1,
+	})
 }
 
 // exchange applies the failure model to one request/reply exchange with
@@ -168,7 +230,7 @@ func (o *Overlay) exchange(n dht.Node) error {
 		o.fault(n.ID(), dht.ErrLost)
 		return dht.ErrLost
 	}
-	if o.Down(n) {
+	if o.isCrashed(n.ID()) || o.downNow(n.ID()) {
 		o.stats.DownHits++
 		o.fault(n.ID(), dht.ErrNodeDown)
 		return dht.ErrNodeDown
@@ -246,6 +308,65 @@ func (o *Overlay) LookupFrom(src dht.Node, key uint64) (dht.Node, int, error) {
 		return nil, hops, ferr
 	}
 	return n, hops, nil
+}
+
+// RouteFrom routes to the owner of key starting at src, through the
+// failure model, surfacing stale-hop counts when the inner overlay
+// tracks them (dht.Router). The fault sequence — originator down-check,
+// inner route, one exchange with the node reached — consumes exactly the
+// random draws and counters LookupFrom would, so a caller switching
+// between the two observes identical fault injection.
+func (o *Overlay) RouteFrom(src dht.Node, key uint64) (dht.Route, error) {
+	if o.Down(src) {
+		// The originator itself is unreachable; nothing leaves it.
+		o.mu.Lock()
+		o.stats.Exchanges++
+		o.stats.DownHits++
+		o.fault(src.ID(), dht.ErrNodeDown)
+		o.mu.Unlock()
+		return dht.Route{}, dht.ErrNodeDown
+	}
+	var route dht.Route
+	var err error
+	if rt, ok := o.inner.(dht.Router); ok {
+		route, err = rt.RouteFrom(src, key)
+	} else {
+		route.Node, route.Hops, err = o.inner.LookupFrom(src, key)
+	}
+	if err != nil {
+		return dht.Route{Hops: route.Hops, Stale: route.Stale}, err
+	}
+	if ferr := o.exchange(route.Node); ferr != nil {
+		return dht.Route{Hops: route.Hops, Stale: route.Stale}, ferr
+	}
+	return route, nil
+}
+
+// SuccessorList forwards to the inner overlay's successor lists when it
+// maintains them (dht.SuccessorLister), nil otherwise. Reading the list
+// is the node's local state — no exchange, no faults.
+func (o *Overlay) SuccessorList(n dht.Node) []dht.Node {
+	if sl, ok := o.inner.(dht.SuccessorLister); ok {
+		return sl.SuccessorList(n)
+	}
+	return nil
+}
+
+// Step forwards protocol maintenance to the inner overlay when it runs
+// any (dht.Maintainer); a no-op over atomically consistent overlays.
+func (o *Overlay) Step() {
+	if m, ok := o.inner.(dht.Maintainer); ok {
+		m.Step()
+	}
+}
+
+// Converged reports the inner overlay's protocol quiescence; an overlay
+// without protocol maintenance is always converged.
+func (o *Overlay) Converged() bool {
+	if m, ok := o.inner.(dht.Maintainer); ok {
+		return m.Converged()
+	}
+	return true
 }
 
 // Successor returns the live node following n, through the failure model

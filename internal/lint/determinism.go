@@ -12,6 +12,11 @@ import (
 //   - wall-clock reads and timers from package time (Now, Since, Until,
 //     Sleep, After, Tick, ...) — experiment output must not depend on
 //     when it runs;
+//   - the timer types time.Timer and time.Ticker anywhere, including
+//     struct fields and variable declarations: holding one means some
+//     code path schedules off the wall clock. Protocol maintenance
+//     (stabilization rounds, fix-fingers, TTL expiry) must instead be
+//     driven by ticks of the deterministic sim.Clock;
 //   - the process-global top-level functions of math/rand/v2 (rand.IntN,
 //     rand.Uint64, rand.Shuffle, ...), whose shared source is seeded
 //     unpredictably at startup — all randomness must flow through a
@@ -34,6 +39,13 @@ var forbiddenTimeFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,
 	"After": true, "AfterFunc": true, "Tick": true,
 	"NewTimer": true, "NewTicker": true,
+}
+
+// forbiddenTimeTypes are the package time types whose mere presence —
+// a field, a variable, a parameter — implies wall-clock-driven
+// scheduling somewhere downstream.
+var forbiddenTimeTypes = map[string]bool{
+	"Timer": true, "Ticker": true,
 }
 
 // allowedRandV2Funcs are the package-level math/rand/v2 functions that do
@@ -62,6 +74,11 @@ func runDeterminism(pass *Pass) error {
 			case "time":
 				if forbiddenTimeFuncs[sel.Sel.Name] {
 					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; derive timing from the deterministic sim.Clock", sel.Sel.Name)
+				}
+				if forbiddenTimeTypes[sel.Sel.Name] {
+					if _, isType := pass.Pkg.Info.Uses[sel.Sel].(*types.TypeName); isType {
+						pass.Reportf(sel.Pos(), "time.%s schedules off the wall clock; drive protocol rounds from sim.Clock ticks instead", sel.Sel.Name)
+					}
 				}
 			case "math/rand/v2":
 				if obj := pass.Pkg.Info.Uses[sel.Sel]; obj != nil {

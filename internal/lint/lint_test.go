@@ -20,6 +20,14 @@ func TestDeterminismObs(t *testing.T) {
 	linttest.Run(t, testdata, lint.DeterminismAnalyzer, "dhsketch/internal/obs")
 }
 
+// TestDeterminismStab runs the determinism analyzer over a fixture
+// shaped like the stabilizing ring's maintenance loop: protocol rounds
+// must fire on virtual-clock period boundaries, so wall-clock timers —
+// including merely holding a time.Timer or time.Ticker — are banned.
+func TestDeterminismStab(t *testing.T) {
+	linttest.Run(t, testdata, lint.DeterminismAnalyzer, "dhsketch/internal/stab")
+}
+
 func TestMapOrder(t *testing.T) {
 	linttest.Run(t, testdata, lint.MapOrderAnalyzer, "maporder/a")
 }
@@ -53,6 +61,7 @@ func TestLockedCopy(t *testing.T) {
 func TestPlantedPositions(t *testing.T) {
 	linttest.MustFindAt(t, testdata, lint.DeterminismAnalyzer, "determinism/planted", "planted.go", 7, 9)
 	linttest.MustFindAt(t, testdata, lint.DeterminismAnalyzer, "dhsketch/internal/obs", "obs.go", 41, 7)
+	linttest.MustFindAt(t, testdata, lint.DeterminismAnalyzer, "dhsketch/internal/stab", "stab.go", 69, 13)
 	linttest.MustFindAt(t, testdata, lint.MapOrderAnalyzer, "maporder/planted", "planted.go", 7, 2)
 	linttest.MustFindAt(t, testdata, lint.MapOrderAnalyzer, "dhsketch/internal/store", "store.go", 61, 2)
 	linttest.MustFindAt(t, testdata, lint.DeterminismAnalyzer, "dhsketch/internal/store", "store.go", 96, 9)

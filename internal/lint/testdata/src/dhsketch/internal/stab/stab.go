@@ -1,0 +1,101 @@
+// Package stab mirrors the churn-hardened ring's stabilization loop for
+// the determinism golden tests. The protocol's whole value rests on the
+// repo's reproducibility contract: stabilize, fix-fingers, and
+// check-predecessor rounds fire when the deterministic sim.Clock
+// crosses a period boundary, so a churn experiment is a pure function
+// of its seed. Every wall-clock shortcut a protocol author might reach
+// for — timer-driven rounds, ticker fields, randomized jitter from the
+// global source, wall-clock timeout stamps — is planted below with its
+// expected finding; the approved tick-driven shapes sit next to them
+// unflagged.
+package stab
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// clock is the sim.Clock shape: a virtual tick counter advanced only by
+// the experiment driver.
+type clock struct {
+	now int64
+}
+
+func (c *clock) Now() int64 { return c.now }
+
+// node is one ring member's protocol state.
+type node struct {
+	id    uint64
+	succ  []uint64
+	fresh bool
+}
+
+// ring is the approved shape: maintenance state is plain data keyed off
+// the virtual clock — no timers, no goroutines, no wall-clock reads.
+type ring struct {
+	clk      *clock
+	nodes    []*node
+	lastStep int64
+	period   int64
+	rng      *rand.Rand
+}
+
+// newRing seeds its jitter stream explicitly; nothing here is flagged.
+func newRing(clk *clock, seed uint64) *ring {
+	return &ring{clk: clk, period: 8, rng: rand.New(rand.NewPCG(seed, 0x57ab))}
+}
+
+// step is the approved maintenance loop: catch up on every period
+// boundary the virtual clock crossed since the last call.
+func (r *ring) step() {
+	for t := r.lastStep + 1; t <= r.clk.Now(); t++ {
+		if t%r.period == 0 {
+			r.stabilizeSweep()
+		}
+	}
+	r.lastStep = r.clk.Now()
+}
+
+func (r *ring) stabilizeSweep() {
+	for _, n := range r.nodes {
+		n.fresh = true
+	}
+}
+
+// timerRing is the classic port-from-production mistake: each node arms
+// a wall-clock timer per protocol round. The type alone is banned —
+// holding a timer means some path schedules off the wall clock.
+type timerRing struct {
+	stabilize *time.Timer  // want `time.Timer schedules off the wall clock`
+	gossip    *time.Ticker // want `time.Ticker schedules off the wall clock`
+}
+
+// armStabilize rebuilds the round timer with randomized jitter, stacking
+// three violations: the timer constructor, the timer type in the
+// signature, and jitter from the process-global source.
+func armStabilize(every time.Duration) *time.Timer { // want `time.Timer schedules off the wall clock`
+	jitter := time.Duration(rand.Int64N(int64(every))) // want `rand.Int64N uses the process-global random source`
+	return time.NewTimer(every + jitter)               // want `time.NewTimer reads the wall clock`
+}
+
+// tickLoop drives rounds from a wall-clock ticker stream.
+func tickLoop(r *ring) {
+	for range time.Tick(time.Second) { // want `time.Tick reads the wall clock`
+		r.stabilizeSweep()
+	}
+}
+
+// stampTimeout records a suspected-dead peer with a wall-clock deadline
+// instead of a virtual tick.
+func stampTimeout(n *node) int64 {
+	deadline := time.Now().Add(3 * time.Second) // want `time.Now reads the wall clock`
+	_ = n
+	return deadline.UnixNano()
+}
+
+// allowedElapsed is the escape hatch in its one legitimate habitat:
+// operator-facing progress display that never feeds a table.
+func allowedElapsed(start time.Time) time.Duration {
+	//dhslint:allow determinism(operator-facing elapsed-time display; never enters a table)
+	return time.Since(start)
+}

@@ -74,6 +74,17 @@ const (
 	// KindFault is an injected fault delivered by the failure model to an
 	// exchange with Node; Err is the fault class.
 	KindFault
+	// KindStabilize is one stabilization protocol sweep over the ring:
+	// Arg is the number of pointer repairs (successor-list or
+	// predecessor changes) the sweep performed.
+	KindStabilize
+	// KindRepair is a replica-repair transfer to a node that newly
+	// entered a successor list: Node is the receiving node, Arg the
+	// number of tuples copied.
+	KindRepair
+	// KindCrash is a crash-stop fault: Node died permanently and left
+	// the ring.
+	KindCrash
 )
 
 // kindNames are the stable wire names of the event kinds (JSONL `kind`
@@ -89,6 +100,9 @@ var kindNames = [...]string{
 	KindStoreFail:  "store-fail",
 	KindExpire:     "expire",
 	KindFault:      "fault",
+	KindStabilize:  "stabilize",
+	KindRepair:     "repair",
+	KindCrash:      "crash",
 }
 
 func (k Kind) String() string {

@@ -324,6 +324,48 @@ func (s *Store) VectorsWithBit(metric uint64, bit uint8, now int64) []int32 {
 	return out
 }
 
+// Entry is one live tuple together with its expiry tick — the unit of
+// replica repair. Repair must re-place a tuple with its original
+// soft-state deadline: extending the TTL on copy would let a tuple
+// outlive its item's refresh cycle just because the ring churned.
+type Entry struct {
+	Key    Key
+	Expiry int64
+}
+
+// Entries returns the live tuples at time now with their expiry ticks,
+// in the same deterministic (metric, bit, vector) order as Keys,
+// garbage-collecting expired ones on the way.
+func (s *Store) Entries(now int64) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expire(now, s.sweep(now))
+	lks := make([]leafKey, 0, len(s.leaves))
+	for lk := range s.leaves {
+		lks = append(lks, lk)
+	}
+	sort.Slice(lks, func(i, j int) bool {
+		if lks[i].metric != lks[j].metric {
+			return lks[i].metric < lks[j].metric
+		}
+		return lks[i].bit < lks[j].bit
+	})
+	out := make([]Entry, 0, s.live)
+	for _, lk := range lks {
+		lf := s.leaves[lk]
+		for wi, w := range lf.bits {
+			for ; w != 0; w &= w - 1 {
+				v := int32(wi<<6 + bits.TrailingZeros64(w))
+				out = append(out, Entry{
+					Key:    Key{Metric: lk.metric, Vector: v, Bit: lk.bit},
+					Expiry: lf.expiry(v),
+				})
+			}
+		}
+	}
+	return out
+}
+
 // sweep garbage-collects every tuple expired at time now by draining
 // the due heap, and returns how many it deleted. Stale entries —
 // refreshed to a later tick or already collected by a read path — cost
