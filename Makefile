@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint fmtcheck race verify bench
+.PHONY: build test vet lint fmtcheck race verify bench smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ race:
 # verify is the full pre-merge gate: tier-1 (build + test) plus vet, the
 # custom lint suite, formatting, and the race detector.
 verify: build vet lint fmtcheck test race
+
+# smoke runs the multi-process end-to-end test: a 5-node dhsnode ring
+# over loopback TCP, a known workload, and a counted estimate checked
+# against the estimator's error envelope. Tune with NODES/ITEMS/TOL.
+smoke:
+	./scripts/smoke.sh
 
 # bench runs the benchmark suite (root macro-benchmarks plus the
 # internal/store probe-reply micro-benchmarks) and converts the text

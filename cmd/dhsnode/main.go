@@ -1,0 +1,234 @@
+// Command dhsnode is the multi-process deployment of the Distributed
+// Hash Sketch: each `dhsnode serve` process hosts one netdht ring
+// member over real TCP, and the `insert` / `count` subcommands are
+// thin clients that drive the DHS data plane over RPC. Five terminal
+// windows (or scripts/smoke.sh) make an actual counting network:
+//
+//	dhsnode serve -listen 127.0.0.1:4001
+//	dhsnode serve -listen 127.0.0.1:4002 -join 127.0.0.1:4001
+//	...
+//	dhsnode insert -entry 127.0.0.1:4001 -metric demo -items 2000
+//	dhsnode count  -entry 127.0.0.1:4001 -metric demo -expect 2000 -tol 0.35
+//
+// Unlike everything under cmd/dhsbench, nothing here is simulated or
+// deterministic: protocol rounds run on wall-clock tickers, failures
+// are discovered by real connection errors, and two runs interleave
+// differently. The sketch-geometry flags (-k, -m, -kind) must agree
+// across every writer and reader of a metric.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dhsketch/internal/chord"
+	"dhsketch/internal/core"
+	"dhsketch/internal/netdht"
+	"dhsketch/internal/sketch"
+)
+
+// chordProtocol bundles the round-period flags into the shared
+// protocol config; the tick unit is maintenance-ticker fires.
+func chordProtocol(stabilize, fixFingers, checkPred int64) chord.ProtocolConfig {
+	return chord.ProtocolConfig{
+		StabilizeEvery:  stabilize,
+		FixFingersEvery: fixFingers,
+		CheckPredEvery:  checkPred,
+	}
+}
+
+func main() {
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "serve":
+		runServe(os.Args[2:])
+	case "insert":
+		runInsert(os.Args[2:])
+	case "count":
+		runCount(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "dhsnode: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: dhsnode <subcommand> [flags]
+
+subcommands:
+  serve    host one ring member (join an existing ring via -join)
+  insert   record items under a metric through any ring member
+  count    estimate a metric's cardinality through any ring member
+
+run 'dhsnode <subcommand> -h' for the subcommand's flags
+`)
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "TCP address to listen on")
+	join := fs.String("join", "", "address of an existing ring member to join (empty: start a new ring)")
+	name := fs.String("name", "", "node name hashed into the ring identifier (default: the bound address)")
+	period := fs.Duration("period", 50*time.Millisecond, "maintenance tick period")
+	stabilize := fs.Int64("stabilize-every", 1, "stabilize round period, in ticks")
+	fixFingers := fs.Int64("fix-fingers-every", 1, "fix-fingers round period, in ticks")
+	checkPred := fs.Int64("check-pred-every", 2, "check-predecessor round period, in ticks")
+	fs.Parse(args)
+
+	s, err := netdht.NewServer(*listen, netdht.Options{
+		Name:     *name,
+		Protocol: chordProtocol(*stabilize, *fixFingers, *checkPred),
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Printf("serving on %s (id %016x)", s.Addr(), s.ID())
+
+	if *join != "" {
+		// The bootstrap may still be starting (scripts launch all
+		// processes at once); retry with backoff before giving up.
+		var jerr error
+		for attempt := 0; attempt < 20; attempt++ {
+			if jerr = s.Join(*join); jerr == nil {
+				break
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+		if jerr != nil {
+			s.Close()
+			log.Fatalf("join %s: %v", *join, jerr)
+		}
+	}
+	s.StartMaintenance(*period)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("received %v, shutting down", got)
+	s.Close()
+}
+
+func runInsert(args []string) {
+	fs := flag.NewFlagSet("insert", flag.ExitOnError)
+	entry := fs.String("entry", "", "address of any ring member (required)")
+	metric := fs.String("metric", "demo", "metric name")
+	items := fs.Int("items", 1000, "number of distinct items to insert")
+	prefix := fs.String("prefix", "item", "item label prefix (labels are <prefix>-<i>)")
+	cc := clientFlags(fs)
+	fs.Parse(args)
+
+	c := mustClient(*entry, cc)
+	defer c.Close()
+	m := core.MetricID(*metric)
+	start := time.Now()
+	for i := 0; i < *items; i++ {
+		if err := c.Insert(m, core.ItemID(fmt.Sprintf("%s-%d", *prefix, i))); err != nil {
+			log.Fatalf("insert %d/%d: %v", i, *items, err)
+		}
+	}
+	log.Printf("inserted %d items under %q in %v", *items, *metric, time.Since(start).Round(time.Millisecond))
+}
+
+func runCount(args []string) {
+	fs := flag.NewFlagSet("count", flag.ExitOnError)
+	entry := fs.String("entry", "", "address of any ring member (required)")
+	metric := fs.String("metric", "demo", "metric name")
+	expect := fs.Float64("expect", 0, "true cardinality to check against (0: report only)")
+	tol := fs.Float64("tol", 0.35, "maximum relative error accepted with -expect")
+	cc := clientFlags(fs)
+	fs.Parse(args)
+
+	c := mustClient(*entry, cc)
+	defer c.Close()
+	start := time.Now()
+	res, err := c.Count(core.MetricID(*metric))
+	if err != nil {
+		log.Fatalf("count: %v", err)
+	}
+	fmt.Printf("metric=%q estimate=%.0f probes=%d failed=%d skipped=%d elapsed=%v\n",
+		*metric, res.Estimate, res.ProbesAttempted, res.ProbesFailed, res.IntervalsSkipped,
+		time.Since(start).Round(time.Millisecond))
+	if *expect > 0 {
+		re := res.Estimate / *expect
+		if re > 1 {
+			re = re - 1
+		} else {
+			re = 1 - re
+		}
+		fmt.Printf("expected=%.0f relative-error=%.3f tolerance=%.3f\n", *expect, re, *tol)
+		if re > *tol {
+			fmt.Println("FAIL: estimate outside tolerance")
+			os.Exit(1)
+		}
+		fmt.Println("OK: estimate within tolerance")
+	}
+}
+
+// clientCfg is the flag bundle shared by insert and count.
+type clientCfg struct {
+	k    *uint
+	m    *int
+	kind *string
+	lim  *int
+	ttl  *int64
+	seed *uint64
+}
+
+func clientFlags(fs *flag.FlagSet) clientCfg {
+	return clientCfg{
+		k:    fs.Uint("k", 16, "bitmap length k (hash bits per item)"),
+		m:    fs.Int("m", 64, "number of bitmap vectors m (power of two)"),
+		kind: fs.String("kind", "sll", "estimator family: pcsa, sll, loglog, hll"),
+		lim:  fs.Int("lim", 5, "per-interval probe budget"),
+		ttl:  fs.Int64("ttl", 0, "tuple lifetime in ring ticks (0: no expiry)"),
+		seed: fs.Uint64("seed", 1, "probe-target randomness seed"),
+	}
+}
+
+func mustClient(entry string, cc clientCfg) *netdht.Client {
+	if entry == "" {
+		log.Fatal("-entry is required")
+	}
+	kind, err := parseKind(*cc.kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := netdht.NewClient(netdht.ClientConfig{
+		Entry: entry,
+		K:     *cc.k, M: *cc.m, Kind: kind, Lim: *cc.lim,
+		TTL: *cc.ttl, Seed: *cc.seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func parseKind(s string) (sketch.Kind, error) {
+	switch strings.ToLower(s) {
+	case "pcsa":
+		return sketch.KindPCSA, nil
+	case "sll", "superloglog":
+		return sketch.KindSuperLogLog, nil
+	case "loglog", "ll":
+		return sketch.KindLogLog, nil
+	case "hll", "hyperloglog":
+		return sketch.KindHyperLogLog, nil
+	default:
+		return 0, fmt.Errorf("unknown estimator kind %q (want pcsa, sll, loglog, or hll)", s)
+	}
+}

@@ -50,6 +50,48 @@ type ProtocolConfig struct {
 	CheckPredEvery int64
 }
 
+// RoundSet is a bitmask naming which protocol rounds are due at a tick.
+type RoundSet uint8
+
+const (
+	// RoundStabilize is the stabilize/notify sweep.
+	RoundStabilize RoundSet = 1 << iota
+	// RoundFixFingers is the finger-repair sweep.
+	RoundFixFingers
+	// RoundCheckPred is the check-predecessor sweep.
+	RoundCheckPred
+)
+
+// Has reports whether round r is in the set.
+func (s RoundSet) Has(r RoundSet) bool { return s&r != 0 }
+
+// WithDefaults returns the config with zero fields replaced by the
+// package defaults — the exported form of the normalization every
+// constructor applies, for callers (netdht) that schedule rounds
+// themselves and need the effective periods.
+func (c ProtocolConfig) WithDefaults() ProtocolConfig { return c.withDefaults() }
+
+// DueAt reports which protocol rounds fire at tick t under this
+// (already defaulted) config. It is the single source of the protocol
+// cadence: the simulated StabilizingRing.Step and netdht's wall-clock
+// maintenance loop both derive their schedule from it, so the two
+// clock domains run the same rounds at the same relative times. The
+// tick unit is whatever the caller's clock counts — sim.Clock ticks in
+// the simulator, ticker fires in the networked overlay.
+func (c ProtocolConfig) DueAt(t int64) RoundSet {
+	var due RoundSet
+	if c.StabilizeEvery > 0 && t%c.StabilizeEvery == 0 {
+		due |= RoundStabilize
+	}
+	if c.FixFingersEvery > 0 && t%c.FixFingersEvery == 0 {
+		due |= RoundFixFingers
+	}
+	if c.CheckPredEvery > 0 && t%c.CheckPredEvery == 0 {
+		due |= RoundCheckPred
+	}
+	return due
+}
+
 func (c ProtocolConfig) withDefaults() ProtocolConfig {
 	if c.SuccListLen == 0 {
 		c.SuccListLen = DefaultSuccListLen
@@ -675,13 +717,14 @@ func (r *StabilizingRing) Step() {
 		return
 	}
 	for t := r.lastStep + 1; t <= now; t++ {
-		if t%r.cfg.StabilizeEvery == 0 {
+		due := r.cfg.DueAt(t)
+		if due.Has(RoundStabilize) {
 			r.stabilizeSweep(t)
 		}
-		if t%r.cfg.FixFingersEvery == 0 {
+		if due.Has(RoundFixFingers) {
 			r.fixFingersSweep(t)
 		}
-		if t%r.cfg.CheckPredEvery == 0 {
+		if due.Has(RoundCheckPred) {
 			r.checkPredSweep(t)
 		}
 		if r.converged {

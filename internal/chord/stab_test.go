@@ -329,3 +329,34 @@ func TestStabilizingDeterminism(t *testing.T) {
 		t.Fatal("memberships diverged across equally seeded runs")
 	}
 }
+
+// TestDueAtMatchesStepSchedule pins the DueAt schedule both clock
+// domains share: rounds fire at exact multiples of their periods, tick
+// 0 fires everything, and a zero period (possible only through a
+// hand-built, non-defaulted config) disables its round instead of
+// dividing by zero.
+func TestDueAtMatchesStepSchedule(t *testing.T) {
+	cfg := ProtocolConfig{}.WithDefaults()
+	if cfg.StabilizeEvery == 0 || cfg.FixFingersEvery == 0 || cfg.CheckPredEvery == 0 {
+		t.Fatal("WithDefaults left a zero period")
+	}
+	for tick := int64(0); tick <= 4*cfg.CheckPredEvery; tick++ {
+		due := cfg.DueAt(tick)
+		if got, want := due.Has(RoundStabilize), tick%cfg.StabilizeEvery == 0; got != want {
+			t.Fatalf("tick %d: stabilize due=%v want %v", tick, got, want)
+		}
+		if got, want := due.Has(RoundFixFingers), tick%cfg.FixFingersEvery == 0; got != want {
+			t.Fatalf("tick %d: fix-fingers due=%v want %v", tick, got, want)
+		}
+		if got, want := due.Has(RoundCheckPred), tick%cfg.CheckPredEvery == 0; got != want {
+			t.Fatalf("tick %d: check-pred due=%v want %v", tick, got, want)
+		}
+	}
+	disabled := ProtocolConfig{StabilizeEvery: 3, FixFingersEvery: 5, CheckPredEvery: 7}
+	disabled.StabilizeEvery = 0
+	if due := disabled.DueAt(15); due.Has(RoundStabilize) {
+		t.Fatal("zero period should disable its round, not fire it")
+	} else if !due.Has(RoundFixFingers) {
+		t.Fatal("tick 15 should fire fix-fingers with period 5")
+	}
+}

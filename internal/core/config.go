@@ -96,6 +96,12 @@ type Config struct {
 	// TTL is the soft-state lifetime of stored tuples in clock ticks;
 	// tuples older than TTL since their last refresh are ignored and
 	// garbage-collected (§3.3). 0 disables expiry.
+	//
+	// On the wire the lifetime travels as a 16-bit tick count
+	// (wire.Insert.TTL); encoders narrow this field through
+	// wire.ClampTTL, which saturates at 65535 ticks instead of silently
+	// wrapping — a TTL beyond the wire range is transmitted as the
+	// longest expressible lifetime, never as a shorter one.
 	TTL int64
 
 	// Replication stores each tuple on this many successors of its home

@@ -1,0 +1,338 @@
+package netdht
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"dhsketch/internal/dht"
+	"dhsketch/internal/hashutil"
+	"dhsketch/internal/sim"
+	"dhsketch/internal/sketch"
+	"dhsketch/internal/wire"
+)
+
+// ClientConfig shapes a Client. The sketch-geometry fields (K, M, Kind,
+// Lim, TTL) must match what every other writer and reader of the metric
+// uses — the networked deployment has no shared core.Config to enforce
+// it, so the daemon flags default to the same values core does.
+type ClientConfig struct {
+	// Entry is the address of any ring member; all routed lookups enter
+	// the overlay there.
+	Entry string
+
+	// K is the bitmap length k (hash bits per item). Default 24.
+	K uint
+	// M is the number of bitmap vectors m (power of two). Default 512.
+	M int
+	// Kind selects the estimator family. The zero value is
+	// sketch.KindPCSA, matching core.Config's convention.
+	Kind sketch.Kind
+	// Lim is the per-interval probe budget of the counting scan.
+	// Default 5.
+	Lim int
+	// TTL is the tuple lifetime in the ring's coarse ticks (0 = no
+	// expiry); it narrows through wire.ClampTTL like every producer.
+	TTL int64
+	// Seed drives the interval-target randomness. A fixed seed gives a
+	// reproducible probe sequence (not byte-reproducible traffic — the
+	// network interleaves).
+	Seed uint64
+
+	// Retries and Backoff bound per-RPC retry behavior; DialTimeout and
+	// RPCTimeout bound the transport. Zero fields take package defaults.
+	Retries     int
+	Backoff     time.Duration
+	DialTimeout time.Duration
+	RPCTimeout  time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.K == 0 {
+		c.K = 24
+	}
+	if c.M == 0 {
+		c.M = 512
+	}
+	if c.Lim == 0 {
+		c.Lim = 5
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	return c
+}
+
+// Client performs DHS insertions and the Algorithm-1 counting scan
+// against a netdht ring purely over RPC — no shared memory with any
+// server, so it runs in a separate OS process (cmd/dhsnode's insert
+// and count subcommands). It is the networked counterpart of core.DHS's
+// data plane with two deliberate simplifications, both documented in
+// DESIGN.md §14: retries re-enter the interval at a fresh random target
+// instead of walking successors (the walk needs successor-list reads
+// the RPC surface does not expose), and the §3.5 bit-shift variant is
+// not offered.
+type Client struct {
+	cfg    ClientConfig
+	maxBit uint
+	peers  *peerPool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewClient validates the configuration and prepares the connection
+// pool; no connection is made until the first operation.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Entry == "" {
+		return nil, fmt.Errorf("netdht: client needs an entry address")
+	}
+	if !hashutil.IsPowerOfTwo(uint64(cfg.M)) {
+		return nil, fmt.Errorf("netdht: m = %d is not a power of two", cfg.M)
+	}
+	if cfg.M > 1<<16 {
+		return nil, fmt.Errorf("netdht: m = %d exceeds the wire vector-index width", cfg.M)
+	}
+	logM := hashutil.Log2(uint64(cfg.M))
+	if logM >= cfg.K {
+		return nil, fmt.Errorf("netdht: log2(m) = %d leaves no bitmap bits of k = %d", logM, cfg.K)
+	}
+	return &Client{
+		cfg:    cfg,
+		maxBit: cfg.K - logM,
+		peers:  newPeerPool(cfg.DialTimeout, cfg.RPCTimeout),
+		rng:    rand.New(rand.NewPCG(cfg.Seed, 0x6a09e667f3bcc908)),
+	}, nil
+}
+
+// Close releases the client's connections.
+func (c *Client) Close() { c.peers.close() }
+
+// split mirrors core.DHS.split: vector = lsb_k(id) mod m,
+// bit = ρ(lsb_k(id) div m).
+func (c *Client) split(itemID uint64) (vector int, bit uint) {
+	if c.cfg.M == 1 {
+		return 0, hashutil.Rho(hashutil.Lsb(itemID, c.cfg.K), c.cfg.K)
+	}
+	return hashutil.Split(itemID, c.cfg.K, c.cfg.M)
+}
+
+func (c *Client) randomTarget(bit uint) uint64 {
+	lo, size := hashutil.Interval(64, c.cfg.K, bit)
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return sim.UniformIn(c.rng, lo, size)
+}
+
+// findOwner routes key through the entry node and returns the owner's
+// identity. The entry makes the first routing decision itself, so the
+// client never needs the ring topology.
+func (c *Client) findOwner(key uint64) (nodeRef, error) {
+	raw, err := c.peers.exchangeRetry(c.cfg.Entry,
+		encodeFindSucc(findSuccMsg{key: key}), c.cfg.Retries, c.cfg.Backoff)
+	if err != nil {
+		return nodeRef{}, err
+	}
+	if len(raw) >= 2 && raw[1] == tagErr {
+		code, _, _, derr := decodeErr(raw)
+		if derr != nil {
+			return nodeRef{}, derr
+		}
+		return nodeRef{}, errnoErr(code)
+	}
+	resp, err := decodeFindSuccResp(raw)
+	if err != nil {
+		return nodeRef{}, err
+	}
+	return resp.owner, nil
+}
+
+// ack sends req to addr with retries and verifies the reply is an ack.
+func (c *Client) ack(addr string, req []byte) error {
+	raw, err := c.peers.exchangeRetry(addr, req, c.cfg.Retries, c.cfg.Backoff)
+	if err != nil {
+		return err
+	}
+	if len(raw) >= 2 && raw[1] == tagErr {
+		code, _, _, derr := decodeErr(raw)
+		if derr != nil {
+			return derr
+		}
+		return errnoErr(code)
+	}
+	if _, err := decodeAck(raw); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Insert records one item occurrence under metric: split the item's key
+// into (vector, bit), route to the owner of a uniform target in the
+// bit's interval, and store the tuple there (§3.4 over the wire).
+func (c *Client) Insert(metric, itemID uint64) error {
+	vector, bit := c.split(itemID)
+	owner, err := c.findOwner(c.randomTarget(bit))
+	if err != nil {
+		return fmt.Errorf("netdht: insert lookup: %w", err)
+	}
+	req := wire.EncodeInsert(wire.Insert{
+		Metric: metric,
+		Vector: uint16(vector),
+		Bit:    uint8(bit),
+		TTL:    wire.ClampTTL(c.cfg.TTL),
+	})
+	if err := c.ack(owner.addr, req); err != nil {
+		return fmt.Errorf("netdht: insert at %s: %w", owner.addr, err)
+	}
+	return nil
+}
+
+// CountResult is one counting pass's outcome with its failure
+// accounting — the networked analogue of core.Estimate's Quality.
+type CountResult struct {
+	Estimate float64
+	// ProbesAttempted and ProbesFailed count probe-budget spending,
+	// including failed lookups; IntervalsSkipped counts bit positions
+	// where no node could be probed at all.
+	ProbesAttempted  int
+	ProbesFailed     int
+	IntervalsSkipped int
+}
+
+// Count runs the Algorithm-1 counting scan for metric over RPC:
+// descending through the bit intervals for the LogLog estimator family
+// (first set bit per vector is its maximum), ascending for PCSA (first
+// position with no set bit is the vector's leftmost zero). Each
+// interval gets up to Lim probe attempts at fresh uniform targets;
+// owners already probed within an interval are not probed again but
+// still spend budget, mirroring the simulator's duplicate-visit cost.
+func (c *Client) Count(metric uint64) (CountResult, error) {
+	m := c.cfg.M
+	R := make([]int, m)
+	for i := range R {
+		R[i] = -1
+	}
+	unresolved := m
+	var res CountResult
+
+	// probeInterval probes bit's interval and invokes onMask for every
+	// successful probe's vector mask; it reports whether any probe
+	// succeeded.
+	probeInterval := func(bit uint, onMask func(mask []byte)) bool {
+		visited := make(map[uint64]bool)
+		ok := false
+		for attempt := 0; attempt < c.cfg.Lim; attempt++ {
+			res.ProbesAttempted++
+			owner, err := c.findOwner(c.randomTarget(bit))
+			if err != nil {
+				res.ProbesFailed++
+				continue
+			}
+			if visited[owner.id] {
+				continue
+			}
+			visited[owner.id] = true
+			req, err := wire.EncodeProbeReq(wire.ProbeReq{
+				Bit:     uint8(bit),
+				NumVecs: uint16(m),
+				Metrics: []uint64{metric},
+			})
+			if err != nil {
+				return ok // static geometry can't overflow; defensive
+			}
+			raw, err := c.peers.exchangeRetry(owner.addr, req, c.cfg.Retries, c.cfg.Backoff)
+			if err != nil {
+				res.ProbesFailed++
+				continue
+			}
+			resp, err := wire.DecodeProbeResp(raw)
+			if err != nil || len(resp.VecMasks) != 1 {
+				res.ProbesFailed++
+				continue
+			}
+			ok = true
+			onMask(resp.VecMasks[0])
+		}
+		return ok
+	}
+
+	if c.cfg.Kind == sketch.KindPCSA {
+		// Ascending scan: a vector's statistic is the first position
+		// where no probe of the interval saw its bit set.
+		foundHere := make([]bool, m)
+		for bit := uint(0); bit <= c.maxBit && unresolved > 0; bit++ {
+			for i := range foundHere {
+				foundHere[i] = false
+			}
+			visitedAny := probeInterval(bit, func(mask []byte) {
+				for v := 0; v < m; v++ {
+					if wire.HasVec(mask, v) {
+						foundHere[v] = true
+					}
+				}
+			})
+			if !visitedAny {
+				// Zero evidence at this position: declaring leftmost
+				// zeros here would collapse the estimate. Skip it.
+				res.IntervalsSkipped++
+				continue
+			}
+			for v := 0; v < m; v++ {
+				if R[v] == -1 && !foundHere[v] {
+					R[v] = int(bit)
+					unresolved--
+				}
+			}
+		}
+		for v := range R {
+			if R[v] == -1 {
+				R[v] = int(c.maxBit) + 1
+			}
+		}
+		res.Estimate = sketch.EstimatePCSA(R)
+		return res, nil
+	}
+
+	// Descending scan for the LogLog family: the first set bit seen for
+	// a vector, scanning downward, is its maximum rank.
+	for bit := int(c.maxBit); bit >= 0 && unresolved > 0; bit-- {
+		visitedAny := probeInterval(uint(bit), func(mask []byte) {
+			for v := 0; v < m; v++ {
+				if R[v] == -1 && wire.HasVec(mask, v) {
+					R[v] = bit
+					unresolved--
+				}
+			}
+		})
+		if !visitedAny {
+			res.IntervalsSkipped++
+		}
+	}
+	ranks := make([]int, m)
+	for v, r := range R {
+		ranks[v] = r + 1
+	}
+	switch c.cfg.Kind {
+	case sketch.KindLogLog:
+		res.Estimate = sketch.EstimateLogLog(ranks)
+	case sketch.KindHyperLogLog:
+		res.Estimate = sketch.EstimateHyperLogLog(ranks)
+	default:
+		res.Estimate = sketch.EstimateSuperLogLog(ranks)
+	}
+	return res, nil
+}
+
+// Ping checks that the entry node answers.
+func (c *Client) Ping() error {
+	raw, err := c.peers.exchangeRetry(c.cfg.Entry, encodePing(), c.cfg.Retries, c.cfg.Backoff)
+	if err != nil {
+		return err
+	}
+	if len(raw) < 2 || raw[1] != tagPong {
+		return fmt.Errorf("%w: unexpected ping reply", dht.ErrLost)
+	}
+	return nil
+}

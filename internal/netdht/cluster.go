@@ -1,0 +1,424 @@
+package netdht
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"dhsketch/internal/chord"
+	"dhsketch/internal/dht"
+	"dhsketch/internal/md4"
+	"dhsketch/internal/sim"
+)
+
+// Cluster hosts N Servers inside one process, each bound to its own
+// loopback listener, and presents them as a dht.Overlay (plus the
+// Router, SuccessorLister, Maintainer, and Crasher extensions). Routed
+// lookups and stabilization rounds cross real TCP sockets; only the
+// surfaces the overlay contract defines as zero-cost local state — the
+// membership oracle (Owner, Nodes, Predecessor), successor-list reads,
+// and liveness — resolve in-process, exactly as the simulated rings
+// resolve them against shared memory. The cluster therefore runs the
+// same contract suite, and core.DHS runs over it unchanged: stores
+// attach to Server nodes via App, and every routed operation the
+// counting layer issues crosses the network.
+//
+// Protocol rounds are driven by Step against env.Clock — the same
+// deterministic schedule (chord.ProtocolConfig.DueAt) the simulator
+// uses — so tests settle the ring by advancing the virtual clock. The
+// round *payloads* are real RPC exchanges; their wall-clock duration is
+// not simulated.
+type Cluster struct {
+	env *sim.Env
+	cfg chord.ProtocolConfig
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu   sync.RWMutex
+	live []*Server // alive servers in ID order: the membership oracle
+	all  map[uint64]*Server
+
+	lastStep          int64
+	stabClean         bool
+	fingerCleanStreak int
+	converged         bool
+}
+
+// Loopback transport timings: tight enough that discovering a crashed
+// peer (a refused connection) costs milliseconds, generous enough that
+// a loaded CI machine does not fake timeouts.
+const (
+	clusterDialTimeout = 500 * time.Millisecond
+	clusterRPCTimeout  = 2 * time.Second
+)
+
+// fingerCycle mirrors chord's convergence requirement: the number of
+// fix-fingers sweeps that cover one node's full table.
+func fingerCycle(cfg chord.ProtocolConfig) int {
+	return (64 + cfg.FingersPerRound - 1) / cfg.FingersPerRound
+}
+
+// NewCluster builds a ring of n servers on loopback listeners. Node
+// names and identifier derivation match the simulated rings
+// ("node-%d:4000", md4, re-hash on collision), so a cluster hosts the
+// same ID population as a simulated ring of equal size. Like
+// chord.NewStabilizing, the ring starts converged: every node's
+// protocol state is pre-seeded to agree with the membership, which is
+// the state a long-running deployment reaches between churn events.
+func NewCluster(env *sim.Env, n int, cfg chord.ProtocolConfig) (*Cluster, error) {
+	if n <= 0 {
+		panic("netdht: cluster needs at least one node")
+	}
+	cfg = cfg.WithDefaults()
+	c := &Cluster{
+		env:       env,
+		cfg:       cfg,
+		rng:       env.Derive("netdht"),
+		all:       make(map[uint64]*Server, n),
+		lastStep:  env.Clock.Now(),
+		stabClean: true,
+		converged: true,
+	}
+	c.fingerCleanStreak = fingerCycle(cfg)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("node-%d:4000", i)
+		label := name
+		id := md4.Sum64([]byte(label))
+		for _, taken := c.all[id]; taken; _, taken = c.all[id] {
+			label += "'"
+			id = md4.Sum64([]byte(label))
+		}
+		s, err := NewServer("127.0.0.1:0", Options{
+			Name:        name,
+			Protocol:    cfg,
+			DialTimeout: clusterDialTimeout,
+			RPCTimeout:  clusterRPCTimeout,
+			Now:         env.Clock.Now,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		// Identifier derivation (incl. collision re-hash) is the
+		// cluster's, not the listener's: no peer traffic exists yet, so
+		// rewriting the identity is safe.
+		s.id = id
+		s.name = name
+		c.all[id] = s
+		c.live = append(c.live, s)
+	}
+	sort.Slice(c.live, func(i, j int) bool { return c.live[i].id < c.live[j].id })
+
+	// Pre-seed converged protocol state, mirroring chord.NewStabilizing.
+	N := len(c.live)
+	for i, s := range c.live {
+		var pred nodeRef
+		if N > 1 {
+			pred = c.live[(i-1+N)%N].ref()
+		}
+		listLen := cfg.SuccListLen
+		if listLen > N-1 {
+			listLen = N - 1
+		}
+		succ := make([]nodeRef, 0, listLen)
+		for j := 1; j <= listLen; j++ {
+			succ = append(succ, c.live[(i+j)%N].ref())
+		}
+		var fingers [64]nodeRef
+		for b := range fingers {
+			fingers[b] = c.live[c.sOwnerIndex(s.id+uint64(1)<<uint(b))].ref()
+		}
+		s.seed(pred, succ, fingers)
+	}
+	return c, nil
+}
+
+// sOwnerIndex returns the index in live of the clockwise successor of
+// key. Caller holds mu (or is the constructor).
+func (c *Cluster) sOwnerIndex(key uint64) int {
+	idx := sort.Search(len(c.live), func(i int) bool { return c.live[i].id >= key })
+	if idx == len(c.live) {
+		return 0
+	}
+	return idx
+}
+
+// Bits returns the identifier length (64).
+func (c *Cluster) Bits() uint { return 64 }
+
+// Servers returns the live servers in ID order.
+func (c *Cluster) Servers() []*Server {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*Server(nil), c.live...)
+}
+
+// Size returns the number of live nodes.
+func (c *Cluster) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.live)
+}
+
+// Nodes returns the live nodes in ID order (ground truth).
+func (c *Cluster) Nodes() []dht.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]dht.Node, len(c.live))
+	for i, s := range c.live {
+		out[i] = s
+	}
+	return out
+}
+
+// RandomNode returns a uniformly chosen live node.
+func (c *Cluster) RandomNode() dht.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.live) == 0 {
+		return nil
+	}
+	c.rngMu.Lock()
+	idx := c.rng.IntN(len(c.live))
+	c.rngMu.Unlock()
+	return c.live[idx]
+}
+
+// Owner returns the live node responsible for key at zero cost — the
+// membership oracle, never a network operation.
+func (c *Cluster) Owner(key uint64) (dht.Node, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.live) == 0 {
+		return nil, dht.ErrNoRoute
+	}
+	return c.live[c.sOwnerIndex(key)], nil
+}
+
+// Lookup routes to the believed owner of key from a random origin.
+func (c *Cluster) Lookup(key uint64) (dht.Node, int, error) {
+	src := c.RandomNode()
+	if src == nil {
+		return nil, 0, dht.ErrNoRoute
+	}
+	return c.LookupFrom(src, key)
+}
+
+// LookupFrom routes to the believed owner of key starting at src.
+func (c *Cluster) LookupFrom(src dht.Node, key uint64) (dht.Node, int, error) {
+	rt, err := c.RouteFrom(src, key)
+	return rt.Node, rt.Hops, err
+}
+
+// RouteFrom routes over TCP to the believed owner of key starting at
+// src (see dht.Router). The origin makes its routing decision locally
+// and every subsequent decision happens on the node the request
+// reached, so the hop count equals the Routed increments metered at
+// the forwarded-to nodes — the same invariant the simulated rings
+// uphold, here without any shared memory between the hops.
+func (c *Cluster) RouteFrom(src dht.Node, key uint64) (dht.Route, error) {
+	s, ok := src.(*Server)
+	if !ok {
+		return dht.Route{}, fmt.Errorf("netdht: foreign node type %T", src)
+	}
+	if !s.alive.Load() {
+		return dht.Route{}, dht.ErrNodeDown
+	}
+	if c.Size() == 0 {
+		return dht.Route{}, dht.ErrNoRoute
+	}
+	resp, errno := s.routeLocal(key, 0, 0)
+	if errno != 0 {
+		return dht.Route{Hops: int(resp.hops), Stale: int(resp.stale)}, errnoErr(errno)
+	}
+	c.mu.RLock()
+	owner := c.all[resp.owner.id]
+	c.mu.RUnlock()
+	if owner == nil {
+		return dht.Route{Hops: int(resp.hops), Stale: int(resp.stale)},
+			fmt.Errorf("%w: route reached unknown node %016x", dht.ErrLost, resp.owner.id)
+	}
+	return dht.Route{Node: owner, Hops: int(resp.hops), Stale: int(resp.stale)}, nil
+}
+
+// Successor returns the node's believed successor — the head of its
+// successor list — or dht.ErrNodeDown when that head is dead and not
+// yet repaired; callers then fall back through SuccessorList. A dead
+// node's successor resolves against the membership oracle, like the
+// simulated rings'.
+func (c *Cluster) Successor(n dht.Node) (dht.Node, error) {
+	s, ok := n.(*Server)
+	if !ok {
+		return nil, fmt.Errorf("netdht: foreign node type %T", n)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.live) == 0 {
+		return nil, dht.ErrNoRoute
+	}
+	if !s.alive.Load() {
+		return c.live[c.sOwnerIndex(s.id+1)], nil
+	}
+	succ := s.successorRefs()
+	if len(succ) == 0 {
+		if len(c.live) == 1 {
+			return s, nil
+		}
+		return nil, dht.ErrNoRoute
+	}
+	head := c.all[succ[0].id]
+	if head == nil || !head.alive.Load() {
+		return nil, dht.ErrNodeDown
+	}
+	return head, nil
+}
+
+// Predecessor returns the live node immediately preceding n, resolved
+// against the membership oracle.
+func (c *Cluster) Predecessor(n dht.Node) (dht.Node, error) {
+	s, ok := n.(*Server)
+	if !ok {
+		return nil, fmt.Errorf("netdht: foreign node type %T", n)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.live) == 0 {
+		return nil, dht.ErrNoRoute
+	}
+	idx := sort.Search(len(c.live), func(i int) bool { return c.live[i].id >= s.id })
+	idx--
+	if idx < 0 {
+		idx = len(c.live) - 1
+	}
+	return c.live[idx], nil
+}
+
+// SuccessorList returns n's believed successors in ring order, possibly
+// including dead entries (see dht.SuccessorLister) — the node's local
+// state, read without touching the network.
+func (c *Cluster) SuccessorList(n dht.Node) []dht.Node {
+	s, ok := n.(*Server)
+	if !ok {
+		return nil
+	}
+	refs := s.successorRefs()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]dht.Node, 0, len(refs))
+	for _, r := range refs {
+		if srv := c.all[r.id]; srv != nil {
+			out = append(out, srv)
+		}
+	}
+	return out
+}
+
+// Crash kills the server permanently (crash-stop, see dht.Crasher): it
+// stops answering, its listener starts refusing connections, and it
+// leaves the membership oracle. Other nodes' successor lists and
+// fingers still name it until protocol rounds discover the death —
+// by real connection failures, not a liveness bit.
+func (c *Cluster) Crash(n dht.Node) {
+	s, ok := n.(*Server)
+	if !ok || !s.alive.Load() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.Close()
+	idx := sort.Search(len(c.live), func(i int) bool { return c.live[i].id >= s.id })
+	if idx < len(c.live) && c.live[idx] == s {
+		c.live = append(c.live[:idx], c.live[idx+1:]...)
+	}
+	c.stabClean = false
+	c.fingerCleanStreak = 0
+	c.converged = false
+}
+
+// Step runs every protocol round due at the current virtual time (see
+// dht.Maintainer), sweeping live servers in ID order. The schedule is
+// chord.ProtocolConfig.DueAt — identical to the simulated ring's — but
+// each round's exchanges are real RPCs, so liveness is discovered by
+// connection failure rather than a shared-memory flag.
+func (c *Cluster) Step() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.env.Clock.Now()
+	if c.converged {
+		c.lastStep = now
+		return
+	}
+	for t := c.lastStep + 1; t <= now; t++ {
+		due := c.cfg.DueAt(t)
+		if due.Has(chord.RoundStabilize) {
+			changes := 0
+			for _, s := range c.live {
+				changes += s.stabilizeRound()
+			}
+			c.stabClean = changes == 0
+			c.updateConverged()
+		}
+		if due.Has(chord.RoundFixFingers) {
+			changes := 0
+			for _, s := range c.live {
+				changes += s.fixFingersRound()
+			}
+			if changes == 0 {
+				c.fingerCleanStreak++
+			} else {
+				c.fingerCleanStreak = 0
+			}
+			c.updateConverged()
+		}
+		if due.Has(chord.RoundCheckPred) {
+			changes := 0
+			for _, s := range c.live {
+				changes += s.checkPredRound()
+			}
+			if changes > 0 {
+				c.stabClean = false
+				c.updateConverged()
+			}
+		}
+		if c.converged {
+			break
+		}
+	}
+	c.lastStep = now
+}
+
+func (c *Cluster) updateConverged() {
+	c.converged = c.stabClean && c.fingerCleanStreak >= fingerCycle(c.cfg)
+}
+
+// Converged reports whether the protocol state is quiescent (see
+// dht.Maintainer).
+func (c *Cluster) Converged() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.converged
+}
+
+// Close shuts every server down, live or crashed.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.all {
+		if s.alive.Load() {
+			s.Close()
+		}
+	}
+	c.live = nil
+}
+
+// Interface conformance, including the optional extensions.
+var (
+	_ dht.Overlay         = (*Cluster)(nil)
+	_ dht.Router          = (*Cluster)(nil)
+	_ dht.SuccessorLister = (*Cluster)(nil)
+	_ dht.Maintainer      = (*Cluster)(nil)
+	_ dht.Crasher         = (*Cluster)(nil)
+)

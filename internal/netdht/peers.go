@@ -1,0 +1,189 @@
+package netdht
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"dhsketch/internal/dht"
+)
+
+// Default transport timings. Loopback rings in tests override them
+// downward; a WAN deployment would raise them.
+const (
+	defaultDialTimeout = 2 * time.Second
+	defaultRPCTimeout  = 5 * time.Second
+	defaultBackoff     = 50 * time.Millisecond
+)
+
+// mapNetErr folds a transport failure into the dht error taxonomy the
+// counting layer dispatches on: a deadline becomes dht.ErrTimeout (the
+// request may or may not have been processed), a refused connection
+// becomes dht.ErrNodeDown (nobody is listening — the crash-stop
+// signature), and everything else — resets, EOF mid-reply, closed
+// sockets — becomes dht.ErrLost. The original error stays wrapped for
+// diagnostics.
+func mapNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", dht.ErrTimeout, err)
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return fmt.Errorf("%w: %v", dht.ErrNodeDown, err)
+	}
+	return fmt.Errorf("%w: %v", dht.ErrLost, err)
+}
+
+// peerConn is one cached outbound connection; its mutex serializes
+// request/reply exchanges (one in flight per peer, which is all the
+// recursive routing discipline ever needs).
+type peerConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// peerPool caches one outbound connection per peer address, with dial
+// and per-exchange read/write deadlines. Outbound connections are kept
+// separate from inbound ones (the server's accept loop), so two nodes
+// routing through each other concurrently use disjoint sockets and
+// cannot deadlock on a shared stream.
+type peerPool struct {
+	dialTimeout time.Duration
+	rpcTimeout  time.Duration
+
+	mu     sync.Mutex
+	conns  map[string]*peerConn
+	closed bool
+}
+
+func newPeerPool(dialTimeout, rpcTimeout time.Duration) *peerPool {
+	if dialTimeout <= 0 {
+		dialTimeout = defaultDialTimeout
+	}
+	if rpcTimeout <= 0 {
+		rpcTimeout = defaultRPCTimeout
+	}
+	return &peerPool{
+		dialTimeout: dialTimeout,
+		rpcTimeout:  rpcTimeout,
+		conns:       make(map[string]*peerConn),
+	}
+}
+
+// get returns the cached connection for addr, dialing if needed.
+func (p *peerPool) get(addr string) (*peerConn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: peer pool closed", dht.ErrLost)
+	}
+	pc, ok := p.conns[addr]
+	if !ok {
+		pc = &peerConn{}
+		p.conns[addr] = pc
+	}
+	p.mu.Unlock()
+
+	pc.mu.Lock() // held by the caller through the exchange
+	if pc.c == nil {
+		c, err := net.DialTimeout("tcp", addr, p.dialTimeout)
+		if err != nil {
+			pc.mu.Unlock()
+			return nil, mapNetErr(err)
+		}
+		pc.c = c
+	}
+	return pc, nil
+}
+
+// exchange performs one framed request/reply round trip with addr. A
+// failure on a connection that predates this call is retried once on a
+// fresh dial: a stale cached socket (the peer restarted, an idle
+// timeout fired) is indistinguishable from a dead peer until a second
+// dial answers. Safe for the idempotent RPC set this package speaks.
+func (p *peerPool) exchange(addr string, req []byte) ([]byte, error) {
+	pc, err := p.get(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer pc.mu.Unlock()
+
+	resp, err := p.roundTrip(pc.c, req)
+	if err == nil {
+		return resp, nil
+	}
+	pc.c.Close()
+	pc.c = nil
+	c, derr := net.DialTimeout("tcp", addr, p.dialTimeout)
+	if derr != nil {
+		return nil, mapNetErr(derr)
+	}
+	pc.c = c
+	resp, err = p.roundTrip(pc.c, req)
+	if err != nil {
+		pc.c.Close()
+		pc.c = nil
+		return nil, mapNetErr(err)
+	}
+	return resp, nil
+}
+
+func (p *peerPool) roundTrip(c net.Conn, req []byte) ([]byte, error) {
+	if err := c.SetDeadline(time.Now().Add(p.rpcTimeout)); err != nil {
+		return nil, err
+	}
+	if err := writeFrame(c, req); err != nil {
+		return nil, err
+	}
+	return readFrame(c)
+}
+
+// exchangeRetry is exchange with bounded linear-backoff retries for the
+// client-facing operations (insert, probe, entry-point routing): the
+// networked analogue of core's insert retry loop, except real time
+// passes instead of virtual clock ticks. Typed errors pass through
+// unchanged, so the caller's failure accounting sees the same taxonomy
+// the simulator produces.
+func (p *peerPool) exchangeRetry(addr string, req []byte, retries int, backoff time.Duration) ([]byte, error) {
+	if backoff <= 0 {
+		backoff = defaultBackoff
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * backoff)
+		}
+		resp, err := p.exchange(addr, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// close tears down every cached connection. New exchanges fail
+// immediately; an in-flight one finishes (or times out on its
+// deadline) before its connection is reaped — per-conn locking keeps
+// the teardown race-free.
+func (p *peerPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := p.conns
+	p.conns = make(map[string]*peerConn)
+	p.mu.Unlock()
+	for _, pc := range conns {
+		pc.mu.Lock()
+		if pc.c != nil {
+			pc.c.Close()
+			pc.c = nil
+		}
+		pc.mu.Unlock()
+	}
+}

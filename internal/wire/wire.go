@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Version identifies the wire format.
@@ -32,7 +33,11 @@ var (
 	// ErrShort is returned when a buffer is too small for its header or
 	// declared payload.
 	ErrShort = errors.New("wire: short message")
-	// ErrBadMessage is returned on version/tag mismatches.
+	// ErrBadMessage is returned on version/tag mismatches and on encode
+	// when a field does not fit its wire width (e.g. more than 65535
+	// probe metrics or vector masks). Encoding must fail loudly: a
+	// silently wrapped uint16 count decodes as a different, valid-looking
+	// message on the receiver.
 	ErrBadMessage = errors.New("wire: malformed message")
 )
 
@@ -48,7 +53,32 @@ type Insert struct {
 	Metric uint64 // full 64-bit metric identifiers are hashed down below
 	Vector uint16
 	Bit    uint8
-	TTL    uint16 // lifetime in coarse ticks
+	// TTL is the soft-state lifetime in coarse ticks. The wire width is
+	// 16 bits while core.Config.TTL is an int64 tick count; producers
+	// MUST narrow through ClampTTL, whose semantics are saturating: a
+	// configured lifetime beyond 65535 ticks travels as 65535 (the
+	// receiver keeps the tuple as long as the field can express), never
+	// as a silently wrapped — i.e. much shorter — lifetime. 0 still
+	// means "no expiry", and ClampTTL never turns a finite lifetime
+	// into 0.
+	TTL uint16
+}
+
+// ClampTTL narrows a configured tick lifetime (core.Config.TTL, int64)
+// to the 16-bit wire field with saturating semantics: values above
+// math.MaxUint16 clamp to math.MaxUint16, and non-positive values map
+// to 0 ("no expiry" — core validates TTL ≥ 0, so negatives only arise
+// from untrusted input). The plain conversion uint16(ttl) this replaces
+// silently truncated lifetimes > 65535 ticks, wrapping a long-lived
+// tuple into an arbitrarily short one.
+func ClampTTL(ttl int64) uint16 {
+	if ttl <= 0 {
+		return 0
+	}
+	if ttl > math.MaxUint16 {
+		return math.MaxUint16
+	}
+	return uint16(ttl)
 }
 
 // insertSize = version(1) + tag(1) + metric(2, folded) + vector(2) +
@@ -143,41 +173,53 @@ func DecodeBulkInsert(buf []byte) (BulkInsert, error) {
 
 // ProbeReq asks a node which bitmap vectors have the given bit set, for
 // each of the listed metrics (multi-dimensional counting sends several).
+// NumVecs carries the querier's vector count m so a networked responder
+// knows the mask width to answer with; the in-process data plane derives
+// it from shared configuration and may leave it 0.
 type ProbeReq struct {
 	Bit     uint8
+	NumVecs uint16
 	Metrics []uint64
 }
 
-// EncodeProbeReq serializes a probe request: version, tag, bit, metric
-// count, then 2 bytes per folded metric. A single-metric request is 7
-// bytes — within the core.ProbeReqBytes=16 budget of the cost model.
-func EncodeProbeReq(m ProbeReq) []byte {
-	buf := make([]byte, 5+2*len(m.Metrics))
+// EncodeProbeReq serializes a probe request: version, tag, bit, vector
+// count, metric count, then 2 bytes per folded metric. A single-metric
+// request is 9 bytes — within the core.ProbeReqBytes=16 budget of the
+// cost model. More than 65535 metrics do not fit the count field and
+// return ErrBadMessage: the pre-check replaces a silent uint16 wrap
+// that would encode 65536 metrics as a valid-looking zero-metric
+// request.
+func EncodeProbeReq(m ProbeReq) ([]byte, error) {
+	if len(m.Metrics) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: %d probe metrics exceed the uint16 count field", ErrBadMessage, len(m.Metrics))
+	}
+	buf := make([]byte, 7+2*len(m.Metrics))
 	buf[0] = Version
 	buf[1] = TagProbeReq
 	buf[2] = m.Bit
-	binary.BigEndian.PutUint16(buf[3:], uint16(len(m.Metrics)))
+	binary.BigEndian.PutUint16(buf[3:], m.NumVecs)
+	binary.BigEndian.PutUint16(buf[5:], uint16(len(m.Metrics)))
 	for i, metric := range m.Metrics {
-		binary.BigEndian.PutUint16(buf[5+2*i:], FoldMetric(metric))
+		binary.BigEndian.PutUint16(buf[7+2*i:], FoldMetric(metric))
 	}
-	return buf
+	return buf, nil
 }
 
 // DecodeProbeReq parses a probe request; Metrics holds folded IDs.
 func DecodeProbeReq(buf []byte) (ProbeReq, error) {
-	if len(buf) < 5 {
+	if len(buf) < 7 {
 		return ProbeReq{}, ErrShort
 	}
 	if buf[0] != Version || buf[1] != TagProbeReq {
 		return ProbeReq{}, ErrBadMessage
 	}
-	n := int(binary.BigEndian.Uint16(buf[3:]))
-	if len(buf) < 5+2*n {
+	n := int(binary.BigEndian.Uint16(buf[5:]))
+	if len(buf) < 7+2*n {
 		return ProbeReq{}, ErrShort
 	}
-	m := ProbeReq{Bit: buf[2]}
+	m := ProbeReq{Bit: buf[2], NumVecs: binary.BigEndian.Uint16(buf[3:])}
 	for i := 0; i < n; i++ {
-		m.Metrics = append(m.Metrics, uint64(binary.BigEndian.Uint16(buf[5+2*i:])))
+		m.Metrics = append(m.Metrics, uint64(binary.BigEndian.Uint16(buf[7+2*i:])))
 	}
 	return m, nil
 }
@@ -195,8 +237,13 @@ func MaskBytes(numVecs int) int { return (numVecs + 7) / 8 }
 
 // EncodeProbeResp serializes a probe reply: an 8-byte header plus one
 // mask per metric — exactly the core cost model's
-// MsgHeaderBytes + metrics×⌈m/8⌉ accounting.
+// MsgHeaderBytes + metrics×⌈m/8⌉ accounting. More than 65535 masks do
+// not fit the count field and return ErrBadMessage (a silent wrap
+// would decode as a reply for a different number of metrics).
 func EncodeProbeResp(m ProbeResp) ([]byte, error) {
+	if len(m.VecMasks) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: %d vector masks exceed the uint16 count field", ErrBadMessage, len(m.VecMasks))
+	}
 	mask := MaskBytes(int(m.NumVecs))
 	buf := make([]byte, 8, 8+len(m.VecMasks)*mask)
 	buf[0] = Version

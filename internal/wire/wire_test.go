@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -66,13 +68,16 @@ func TestBulkInsertEmpty(t *testing.T) {
 }
 
 func TestProbeReqRoundTrip(t *testing.T) {
-	m := ProbeReq{Bit: 9, Metrics: []uint64{1, 0xABCDEF, 1 << 60}}
-	enc := EncodeProbeReq(m)
+	m := ProbeReq{Bit: 9, NumVecs: 512, Metrics: []uint64{1, 0xABCDEF, 1 << 60}}
+	enc, err := EncodeProbeReq(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dec, err := DecodeProbeReq(enc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec.Bit != 9 || len(dec.Metrics) != 3 {
+	if dec.Bit != 9 || dec.NumVecs != 512 || len(dec.Metrics) != 3 {
 		t.Errorf("decoded %+v", dec)
 	}
 	for i, metric := range m.Metrics {
@@ -84,9 +89,94 @@ func TestProbeReqRoundTrip(t *testing.T) {
 
 func TestProbeReqSizeMatchesCostModel(t *testing.T) {
 	// A single-metric probe request must fit the model's ProbeReqBytes.
-	enc := EncodeProbeReq(ProbeReq{Bit: 1, Metrics: []uint64{42}})
+	enc, err := EncodeProbeReq(ProbeReq{Bit: 1, Metrics: []uint64{42}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(enc) > core.ProbeReqBytes {
 		t.Errorf("probe request is %d bytes, model budget %d", len(enc), core.ProbeReqBytes)
+	}
+}
+
+// TestProbeReqCountBounds pins the overflow fix: exactly 65535 metrics
+// is the largest encodable request, and one more must fail with
+// ErrBadMessage instead of wrapping the uint16 count to 0 — the pre-fix
+// behavior, under which the 65536-metric request decoded as a valid
+// zero-metric one.
+func TestProbeReqCountBounds(t *testing.T) {
+	at := make([]uint64, 65535)
+	enc, err := EncodeProbeReq(ProbeReq{Bit: 3, Metrics: at})
+	if err != nil {
+		t.Fatalf("65535 metrics rejected: %v", err)
+	}
+	dec, err := DecodeProbeReq(enc)
+	if err != nil || len(dec.Metrics) != 65535 {
+		t.Fatalf("65535-metric round trip: %d metrics, %v", len(dec.Metrics), err)
+	}
+
+	over := make([]uint64, 65536)
+	if _, err := EncodeProbeReq(ProbeReq{Bit: 3, Metrics: over}); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("65536 metrics: err = %v, want ErrBadMessage", err)
+	}
+}
+
+// TestProbeRespCountBounds is the reply-side twin: 65535 masks round-
+// trip, 65536 must not silently wrap to a zero-mask reply.
+func TestProbeRespCountBounds(t *testing.T) {
+	const m = 8 // 1-byte masks keep the boundary case small
+	masks := make([][]byte, 65535)
+	for i := range masks {
+		masks[i] = make([]byte, MaskBytes(m))
+	}
+	enc, err := EncodeProbeResp(ProbeResp{NumVecs: m, VecMasks: masks})
+	if err != nil {
+		t.Fatalf("65535 masks rejected: %v", err)
+	}
+	dec, err := DecodeProbeResp(enc)
+	if err != nil || len(dec.VecMasks) != 65535 {
+		t.Fatalf("65535-mask round trip: %d masks, %v", len(dec.VecMasks), err)
+	}
+
+	masks = append(masks, make([]byte, MaskBytes(m)))
+	if _, err := EncodeProbeResp(ProbeResp{NumVecs: m, VecMasks: masks}); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("65536 masks: err = %v, want ErrBadMessage", err)
+	}
+}
+
+// TestClampTTL pins the saturating narrowing semantics documented on
+// wire.Insert.TTL and core.Config.TTL: lifetimes beyond the 16-bit wire
+// range clamp to MaxUint16 — the pre-fix uint16(ttl) conversion wrapped
+// them to arbitrary shorter lifetimes (65536 → 0, i.e. "no expiry";
+// 100000 → 34464 ticks).
+func TestClampTTL(t *testing.T) {
+	cases := []struct {
+		ttl  int64 // a core.Config.TTL value
+		want uint16
+	}{
+		{0, 0}, // 0 stays "no expiry"
+		{1, 1},
+		{65535, 65535},
+		{65536, 65535},  // one past the wire range: saturate, not wrap to 0
+		{100000, 65535}, // pre-fix uint16() gave 34464
+		{math.MaxInt64, 65535},
+		{-7, 0}, // untrusted input; core validates TTL ≥ 0
+	}
+	for _, c := range cases {
+		if got := ClampTTL(c.ttl); got != c.want {
+			t.Errorf("ClampTTL(%d) = %d, want %d", c.ttl, got, c.want)
+		}
+		// Core-equivalence: the clamped value survives the Insert codec
+		// unchanged, so the receiver sees exactly the saturated lifetime.
+		enc := EncodeInsert(Insert{Metric: 1, Vector: 2, Bit: 3, TTL: ClampTTL(c.ttl)})
+		dec, err := DecodeInsert(enc)
+		if err != nil || dec.TTL != c.want {
+			t.Errorf("TTL %d: round-tripped as %d (%v), want %d", c.ttl, dec.TTL, err, c.want)
+		}
+		// A finite configured lifetime must never clamp into the "no
+		// expiry" sentinel.
+		if c.ttl > 0 && ClampTTL(c.ttl) == 0 {
+			t.Errorf("ClampTTL(%d) collapsed a finite lifetime to the no-expiry sentinel", c.ttl)
+		}
 	}
 }
 
@@ -175,7 +265,10 @@ func TestDecodeErrors(t *testing.T) {
 		}
 	}
 	// Truncated declared payloads.
-	req := EncodeProbeReq(ProbeReq{Bit: 1, Metrics: []uint64{1, 2, 3}})
+	req, err := EncodeProbeReq(ProbeReq{Bit: 1, Metrics: []uint64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := DecodeProbeReq(req[:len(req)-2]); err == nil {
 		t.Error("truncated probe request accepted")
 	}
@@ -190,7 +283,10 @@ func TestCrossTagRejected(t *testing.T) {
 	if _, err := DecodeBulkInsert(ins); err == nil {
 		t.Error("insert decoded as bulk")
 	}
-	req := EncodeProbeReq(ProbeReq{Metrics: []uint64{1, 2}})
+	req, err := EncodeProbeReq(ProbeReq{Metrics: []uint64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := DecodeProbeResp(req); err == nil {
 		t.Error("request decoded as response")
 	}

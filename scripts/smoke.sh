@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# smoke.sh — multi-process end-to-end smoke test of the netdht
+# deployment path: build dhsnode, start an N-process ring on loopback,
+# insert a known workload through one member, and require the counted
+# estimate to land within the estimator's error envelope.
+#
+# This is the one test in the repository where separate OS processes
+# form a real Chord ring over TCP; everything the simulator cannot
+# vouch for (framing, deadlines, join/stabilize over sockets, process
+# shutdown) is on the line here. CI runs it per push; run it locally
+# with `make smoke`.
+#
+# Environment:
+#   NODES   ring size                (default 5)
+#   ITEMS   distinct items inserted  (default 2000)
+#   TOL     accepted relative error  (default 0.35; m=64 sLL ≈ 13% σ)
+#   LOGDIR  node log directory       (default ./smoke-logs)
+set -euo pipefail
+
+NODES="${NODES:-5}"
+ITEMS="${ITEMS:-2000}"
+TOL="${TOL:-0.35}"
+LOGDIR="${LOGDIR:-smoke-logs}"
+BASE_PORT="${BASE_PORT:-42001}"
+
+cd "$(dirname "$0")/.."
+mkdir -p "$LOGDIR"
+BIN="$LOGDIR/dhsnode"
+
+echo "== building dhsnode"
+go build -o "$BIN" ./cmd/dhsnode
+
+PIDS=()
+cleanup() {
+    local status=$?
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    if [ "$status" -ne 0 ]; then
+        echo "== smoke FAILED (exit $status); node logs:"
+        for f in "$LOGDIR"/node-*.log; do
+            echo "---- $f"
+            cat "$f"
+        done
+    fi
+    exit "$status"
+}
+trap cleanup EXIT
+
+ENTRY="127.0.0.1:$BASE_PORT"
+echo "== starting $NODES-node ring (bootstrap $ENTRY)"
+"$BIN" serve -listen "$ENTRY" -name node-0 >"$LOGDIR/node-0.log" 2>&1 &
+PIDS+=($!)
+for i in $(seq 1 $((NODES - 1))); do
+    "$BIN" serve -listen "127.0.0.1:$((BASE_PORT + i))" -join "$ENTRY" -name "node-$i" \
+        >"$LOGDIR/node-$i.log" 2>&1 &
+    PIDS+=($!)
+done
+
+# Joins retry internally; give the wall-clock maintenance a moment to
+# close the ring before loading it.
+sleep 2
+
+for pid in "${PIDS[@]}"; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "== a node exited during startup" >&2
+        exit 1
+    fi
+done
+
+echo "== inserting $ITEMS items"
+"$BIN" insert -entry "$ENTRY" -metric smoke -items "$ITEMS" | tee "$LOGDIR/insert.log"
+
+echo "== counting (expect $ITEMS, tol $TOL)"
+"$BIN" count -entry "$ENTRY" -metric smoke -expect "$ITEMS" -tol "$TOL" | tee "$LOGDIR/count.log"
+
+echo "== clean shutdown"
+for pid in "${PIDS[@]}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in "${PIDS[@]}"; do
+    wait "$pid" 2>/dev/null || true
+done
+PIDS=()
+
+echo "== smoke OK"
