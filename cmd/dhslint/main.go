@@ -1,17 +1,25 @@
 // Command dhslint runs the repository's custom static-analysis suite
 // (internal/lint) over the given package patterns — a multichecker for
-// the determinism, maporder, dhterrors, panicmsg, and lockedcopy
-// analyzers that enforce DESIGN.md §10's invariants.
+// the determinism, maporder, dhterrors, panicmsg, lockedcopy,
+// conndeadline, lockrpc, gorolifecycle, and wirebounds analyzers that
+// enforce DESIGN.md §10's invariants.
 //
 // Usage:
 //
-//	dhslint [-list] [packages]
+//	dhslint [-list] [-sarif] [-baseline file] [-write-baseline file] [packages]
 //
 // Patterns follow the go tool's shape ("./...", "./internal/...",
 // "./cmd/dhsbench"); the default is "./...". Findings print as
 // file:line:col: analyzer: message, one per line, and a non-empty run
 // exits 1 — wire it into CI as a gate. Intentional exceptions are
-// annotated in the source with //dhslint:allow analyzer(reason).
+// annotated in the source with //dhslint:allow analyzer(reason); known
+// legacy findings can instead live in a checked-in baseline file
+// (-baseline to apply it, -write-baseline to regenerate it from the
+// current findings).
+//
+// -sarif emits the findings as a SARIF 2.1.0 log on stdout instead of
+// the text lines, for GitHub code-scanning annotations; the exit-code
+// contract is unchanged.
 //
 // dhslint needs no configuration and no network: it type-checks the
 // module from source with the standard library alone.
@@ -27,11 +35,14 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	sarif := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
+	baselinePath := flag.String("baseline", "", "baseline file of tolerated findings to subtract")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -56,8 +67,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dhslint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dhslint:", err)
+			os.Exit(2)
+		}
+		diags = base.Filter(diags, loader.Root)
+	}
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, diags, loader.Root); err != nil {
+			fmt.Fprintln(os.Stderr, "dhslint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "dhslint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+
+	if *sarif {
+		if err := lint.WriteSARIF(os.Stdout, lint.All(), diags, loader.Root); err != nil {
+			fmt.Fprintln(os.Stderr, "dhslint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dhslint: %d finding(s)\n", len(diags))

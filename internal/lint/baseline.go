@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline support: a checked-in file of known findings that the gate
+// tolerates, so a new analyzer can land before every legacy site is
+// fixed without weakening the check for new code. Entries are keyed by
+// (analyzer, root-relative file, message) — deliberately line-number
+// free, so unrelated edits to a file do not invalidate the baseline —
+// and counted: if a file has two baselined findings with the same
+// message and a third appears, the third fails the gate.
+//
+// The format is one tab-separated entry per line
+// ("analyzer\tfile\tmessage"); '#' lines and blank lines are comments.
+// Regenerate with dhslint -write-baseline. An empty baseline (the
+// repository's steady state) means every finding fails the gate.
+
+type baselineKey struct {
+	analyzer string
+	file     string
+	message  string
+}
+
+// Baseline is a multiset of tolerated findings.
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b := &Baseline{counts: map[baselineKey]int{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("lint: %s:%d: want analyzer<TAB>file<TAB>message", path, lineNo)
+		}
+		b.counts[baselineKey{parts[0], parts[1], parts[2]}]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Filter returns the diagnostics not covered by the baseline,
+// preserving order. Each baseline entry absorbs at most its count of
+// matching findings; root relativizes filenames to match the stored
+// keys.
+func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+	if b == nil || len(b.counts) == 0 {
+		return diags
+	}
+	remaining := make(map[baselineKey]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, relURI(root, d.Pos.Filename), d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteBaseline writes diags as a baseline file, sorted for stable
+// diffs.
+func WriteBaseline(path string, diags []Diagnostic, root string) error {
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		lines = append(lines, fmt.Sprintf("%s\t%s\t%s", d.Analyzer, relURI(root, d.Pos.Filename), d.Message))
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# dhslint baseline — known findings tolerated by the lint gate.\n")
+	sb.WriteString("# One entry per line: analyzer<TAB>file<TAB>message (line numbers\n")
+	sb.WriteString("# intentionally omitted so unrelated edits don't invalidate entries).\n")
+	sb.WriteString("# Regenerate: go run ./cmd/dhslint -write-baseline .dhslint-baseline ./...\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

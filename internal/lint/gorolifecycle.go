@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLifecycleAnalyzer enforces the shutdown contract of the networked
+// layer (DESIGN.md §14): every goroutine spawned in internal/netdht or a
+// command must be joinable — tied to a sync.WaitGroup Add/Done pair — or
+// tied to a registered shutdown channel it selects on. A fire-and-forget
+// goroutine outlives Server.Close, keeps sockets and timers alive after
+// shutdown, and turns clean test exits into flaky ones.
+//
+// Phase one records, for every function in the load set, whether its
+// body calls WaitGroup.Done (directly or deferred) and whether it
+// receives from a struct{}-element channel (the quit/ctx.Done
+// convention). Phase two inspects every `go` statement in a matched
+// package: a launch is compliant when the spawned body — a function
+// literal, or a named callee via its fact — joins a WaitGroup and some
+// WaitGroup.Add call precedes the `go` statement in the enclosing
+// function, or when the body watches a shutdown channel.
+var GoroLifecycleAnalyzer = &Analyzer{
+	Name: "gorolifecycle",
+	Doc:  "require every spawned goroutine to be WaitGroup-joined or tied to a shutdown channel",
+	Match: func(pkgPath string) bool {
+		return pathHasSuffix(pkgPath, "internal/netdht") ||
+			strings.Contains(pkgPath, "/cmd/") || strings.HasPrefix(pkgPath, "cmd/")
+	},
+	FactsRun: runGoroFacts,
+	Run:      runGoroLifecycle,
+}
+
+// goroFact describes how a function participates in goroutine lifecycle
+// management when used as a goroutine body.
+type goroFact struct {
+	joinsWG     bool // calls sync.WaitGroup.Done
+	watchesQuit bool // receives from a chan struct{}
+}
+
+// goroBodyTraits scans a goroutine body (or candidate body) for
+// lifecycle markers. facts, when non-nil, folds in the facts of named
+// functions the body calls — so `go func() { s.worker() }()` inherits
+// worker's Done.
+func goroBodyTraits(info *types.Info, body ast.Node, facts *FactSet) goroFact {
+	var out goroFact
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if f, _ := info.Uses[sel.Sel].(*types.Func); f != nil &&
+					f.Name() == "Done" && recvNamed(f, "sync", "WaitGroup") {
+					out.joinsWG = true
+				}
+			}
+			if facts != nil {
+				if fact, ok := facts.Get(calleeFunc(info, n)).(*goroFact); ok {
+					out.joinsWG = out.joinsWG || fact.joinsWG
+					out.watchesQuit = out.watchesQuit || fact.watchesQuit
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isQuitChan(info.TypeOf(n.X)) {
+				out.watchesQuit = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isQuitChan reports whether t is a channel of empty structs — the
+// shutdown-channel convention (quit chan struct{}, ctx.Done()).
+func isQuitChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+func runGoroFacts(pass *Pass) error {
+	for _, file := range pass.Pkg.Syntax {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			obj := funcObjOf(pass.Pkg.Info, decl)
+			if obj == nil {
+				continue
+			}
+			traits := goroBodyTraits(pass.Pkg.Info, decl.Body, nil)
+			if traits.joinsWG || traits.watchesQuit {
+				pass.Facts.Set(obj, &traits)
+			}
+		}
+	}
+	return nil
+}
+
+func runGoroLifecycle(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Syntax {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				var traits goroFact
+				if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+					traits = goroBodyTraits(info, lit.Body, pass.Facts)
+				} else if fact, ok := pass.Facts.Get(calleeFunc(info, g.Call)).(*goroFact); ok {
+					traits = *fact
+				}
+				switch {
+				case traits.watchesQuit:
+				case traits.joinsWG && wgAddBefore(info, decl, g):
+				case traits.joinsWG:
+					pass.Reportf(g.Pos(), "goroutine joins a WaitGroup but no WaitGroup.Add precedes the go statement in %s; Add before spawning or Close races the join", decl.Name.Name)
+				default:
+					pass.Reportf(g.Pos(), "fire-and-forget goroutine outlives shutdown: tie it to a sync.WaitGroup Add/Done pair or select on a shutdown channel")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// wgAddBefore reports whether some sync.WaitGroup.Add call precedes g
+// in decl's body.
+func wgAddBefore(info *types.Info, decl *ast.FuncDecl, g *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() {
+			return !found
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if f, _ := info.Uses[sel.Sel].(*types.Func); f != nil &&
+				f.Name() == "Add" && recvNamed(f, "sync", "WaitGroup") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

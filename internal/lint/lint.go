@@ -19,6 +19,23 @@
 //     structs (core.Store, sim.Traffic, dht.Counters) outside snapshot
 //     helpers.
 //
+// The second generation (dhslint v2) adds protocol-aware analyzers for
+// the networked layer, built on cross-package facts (an analyzer may
+// export facts about a function in one package — "performs network I/O",
+// "does raw conn reads" — and consume them while checking another):
+//
+//   - conndeadline: every conn Read/Write reachable in internal/netdht
+//     must be dominated by a SetDeadline/SetReadDeadline/SetWriteDeadline
+//     on the same conn.
+//   - lockrpc: no network I/O (dial, frame read/write, RPC exchange)
+//     while holding a sync.Mutex/RWMutex acquired in the enclosing
+//     function.
+//   - gorolifecycle: every go statement in internal/netdht and cmd/ is
+//     tied to a sync.WaitGroup Add/Done pair or a shutdown channel.
+//   - wirebounds: allocations sized from decoded wire fields must be
+//     preceded by a comparison against a named cap constant or the
+//     input length.
+//
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic, testdata golden tests) but is built only on
 // the standard library so the module stays dependency-free.
@@ -39,8 +56,10 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one named check, mirroring x/tools' analysis.Analyzer.
@@ -57,10 +76,49 @@ type Analyzer struct {
 	// applies Match; tests bypass it to run fixtures directly.
 	Match func(pkgPath string) bool
 
+	// FactsRun, if non-nil, is the first phase of a two-phase analyzer:
+	// it runs over every package in the load set (targets and their
+	// in-module dependencies, dependency order, ignoring Match) and
+	// records facts about package-level objects via pass.Facts. Facts
+	// reporting is not allowed in this phase; Reportf panics.
+	FactsRun func(pass *Pass) error
+
 	// Run performs the check on one package and reports findings via
-	// pass.Reportf.
+	// pass.Reportf. It may read (but not write) the facts accumulated by
+	// FactsRun; Run invocations for different packages may execute
+	// concurrently.
 	Run func(pass *Pass) error
 }
+
+// FactSet holds one analyzer's cross-package facts, keyed by the
+// package-level object they describe (typically a *types.Func). It is
+// written during the facts phase and read-only during the diagnostics
+// phase.
+type FactSet struct {
+	m map[types.Object]any
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet { return &FactSet{m: map[types.Object]any{}} }
+
+// Set records a fact about obj, replacing any previous one.
+func (fs *FactSet) Set(obj types.Object, fact any) {
+	if obj == nil {
+		return
+	}
+	fs.m[obj] = fact
+}
+
+// Get returns the fact recorded for obj, or nil.
+func (fs *FactSet) Get(obj types.Object) any {
+	if fs == nil || obj == nil {
+		return nil
+	}
+	return fs.m[obj]
+}
+
+// Len returns the number of objects with recorded facts.
+func (fs *FactSet) Len() int { return len(fs.m) }
 
 // Pass carries one analyzer's view of one package, plus the full load set
 // for cross-package inspection (e.g. lockedcopy's guarded-type scan).
@@ -72,11 +130,18 @@ type Pass struct {
 	// module-internal dependencies — in dependency order.
 	All []*Package
 
+	// Facts is the analyzer's cross-package fact set: writable during
+	// FactsRun, read-only during Run.
+	Facts *FactSet
+
 	diags *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.diags == nil {
+		panic("lint: Reportf called during the facts phase")
+	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
@@ -129,30 +194,67 @@ type lineKey struct {
 	line int
 }
 
-// Run executes the analyzers over the target packages, applies
-// //dhslint:allow suppression, and returns the surviving findings sorted
-// by position. Analyzer Match filters are consulted only when useMatch is
-// set (the driver); golden tests run every analyzer on every fixture.
+// Run executes the analyzers over the target packages in two phases and
+// returns the surviving findings sorted by position. Phase one runs each
+// analyzer's FactsRun serially over the full load set — targets plus
+// in-module dependencies, in dependency order, ignoring Match — so facts
+// about a dependency (e.g. "peers.exchange performs network I/O") are
+// available when a dependent package is checked. Phase two runs the
+// diagnostics passes package-parallel (workers = GOMAXPROCS; the
+// analyzers only read shared state) and applies //dhslint:allow
+// suppression. Output is deterministic regardless of worker scheduling:
+// findings are globally sorted, and on error the failure from the
+// lowest-indexed package wins. Analyzer Match filters are consulted only
+// when useMatch is set (the driver); golden tests run every analyzer on
+// every fixture.
 func Run(analyzers []*Analyzer, pkgs []*Package, useMatch bool) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		allowed := allowedLines(pkg.Fset, pkg.Syntax)
-		for _, a := range analyzers {
-			if useMatch && a.Match != nil && !a.Match(pkg.Path) {
-				continue
-			}
-			var raw []Diagnostic
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, All: pkg.all, diags: &raw}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
-			}
-			for _, d := range raw {
-				if allowed[a.Name][lineKey{d.Pos.Filename, d.Pos.Line}] {
-					continue
-				}
-				diags = append(diags, d)
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	facts := make(map[*Analyzer]*FactSet, len(analyzers))
+	for _, a := range analyzers {
+		facts[a] = NewFactSet()
+		if a.FactsRun == nil {
+			continue
+		}
+		for _, pkg := range pkgs[0].all {
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, All: pkg.all, Facts: facts[a]}
+			if err := a.FactsRun(pass); err != nil {
+				return nil, fmt.Errorf("%s facts on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+	}
+
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				perPkg[i], errs[i] = checkPackage(analyzers, pkgs[i], facts, useMatch)
+			}
+		}()
+	}
+	for i := range pkgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -170,6 +272,30 @@ func Run(analyzers []*Analyzer, pkgs []*Package, useMatch bool) ([]Diagnostic, e
 	return diags, nil
 }
 
+// checkPackage runs the diagnostics phase of every matching analyzer on
+// one package and applies //dhslint:allow suppression.
+func checkPackage(analyzers []*Analyzer, pkg *Package, facts map[*Analyzer]*FactSet, useMatch bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	allowed := allowedLines(pkg.Fset, pkg.Syntax)
+	for _, a := range analyzers {
+		if useMatch && a.Match != nil && !a.Match(pkg.Path) {
+			continue
+		}
+		var raw []Diagnostic
+		pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, All: pkg.all, Facts: facts[a], diags: &raw}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range raw {
+			if allowed[a.Name][lineKey{d.Pos.Filename, d.Pos.Line}] {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	return diags, nil
+}
+
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -178,6 +304,10 @@ func All() []*Analyzer {
 		DHTErrorsAnalyzer,
 		PanicMsgAnalyzer,
 		LockedCopyAnalyzer,
+		ConnDeadlineAnalyzer,
+		LockRPCAnalyzer,
+		GoroLifecycleAnalyzer,
+		WireBoundsAnalyzer,
 	}
 }
 

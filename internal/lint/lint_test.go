@@ -56,6 +56,22 @@ func TestLockedCopy(t *testing.T) {
 	linttest.Run(t, testdata, lint.LockedCopyAnalyzer, "lockedcopy/a")
 }
 
+func TestConnDeadline(t *testing.T) {
+	linttest.Run(t, testdata, lint.ConnDeadlineAnalyzer, "conndeadline/a")
+}
+
+func TestLockRPC(t *testing.T) {
+	linttest.Run(t, testdata, lint.LockRPCAnalyzer, "lockrpc/a")
+}
+
+func TestGoroLifecycle(t *testing.T) {
+	linttest.Run(t, testdata, lint.GoroLifecycleAnalyzer, "gorolifecycle/a")
+}
+
+func TestWireBounds(t *testing.T) {
+	linttest.Run(t, testdata, lint.WireBoundsAnalyzer, "wirebounds/a")
+}
+
 // TestPlantedPositions pins that one deliberately planted violation per
 // analyzer is reported at its exact file:line:column.
 func TestPlantedPositions(t *testing.T) {
@@ -69,6 +85,10 @@ func TestPlantedPositions(t *testing.T) {
 	linttest.MustFindAt(t, testdata, lint.DHTErrorsAnalyzer, "dhsketch/internal/core", "core.go", 15, 2)
 	linttest.MustFindAt(t, testdata, lint.PanicMsgAnalyzer, "panicmsg/planted", "planted.go", 5, 14)
 	linttest.MustFindAt(t, testdata, lint.LockedCopyAnalyzer, "lockedcopy/planted", "planted.go", 10, 27)
+	linttest.MustFindAt(t, testdata, lint.ConnDeadlineAnalyzer, "conndeadline/planted", "planted.go", 16, 2)
+	linttest.MustFindAt(t, testdata, lint.LockRPCAnalyzer, "lockrpc/planted", "planted.go", 20, 2)
+	linttest.MustFindAt(t, testdata, lint.GoroLifecycleAnalyzer, "gorolifecycle/planted", "planted.go", 8, 2)
+	linttest.MustFindAt(t, testdata, lint.WireBoundsAnalyzer, "wirebounds/planted", "planted.go", 9, 9)
 }
 
 // TestPlantedHaveWants keeps the planted fixtures honest as golden files
@@ -76,6 +96,10 @@ func TestPlantedPositions(t *testing.T) {
 func TestPlantedHaveWants(t *testing.T) {
 	linttest.Run(t, testdata, lint.MapOrderAnalyzer, "maporder/planted")
 	linttest.Run(t, testdata, lint.LockedCopyAnalyzer, "lockedcopy/planted")
+	linttest.Run(t, testdata, lint.ConnDeadlineAnalyzer, "conndeadline/planted")
+	linttest.Run(t, testdata, lint.LockRPCAnalyzer, "lockrpc/planted")
+	linttest.Run(t, testdata, lint.GoroLifecycleAnalyzer, "gorolifecycle/planted")
+	linttest.Run(t, testdata, lint.WireBoundsAnalyzer, "wirebounds/planted")
 }
 
 // TestMatchScopes pins the driver-side package scoping.
@@ -94,6 +118,17 @@ func TestMatchScopes(t *testing.T) {
 		{lint.DHTErrorsAnalyzer, "dhsketch/internal/sim", false},
 		{lint.PanicMsgAnalyzer, "dhsketch/internal/hashutil", true},
 		{lint.PanicMsgAnalyzer, "dhsketch/cmd/calibrate", false},
+		{lint.ConnDeadlineAnalyzer, "dhsketch/internal/netdht", true},
+		{lint.ConnDeadlineAnalyzer, "dhsketch/internal/wire", false},
+		{lint.LockRPCAnalyzer, "dhsketch/internal/netdht", true},
+		{lint.LockRPCAnalyzer, "dhsketch/cmd/dhsnode", true},
+		{lint.LockRPCAnalyzer, "dhsketch/internal/obs", false},
+		{lint.GoroLifecycleAnalyzer, "dhsketch/internal/netdht", true},
+		{lint.GoroLifecycleAnalyzer, "dhsketch/cmd/dhsbench", true},
+		{lint.GoroLifecycleAnalyzer, "dhsketch/internal/runner", false},
+		{lint.WireBoundsAnalyzer, "dhsketch/internal/wire", true},
+		{lint.WireBoundsAnalyzer, "dhsketch/internal/netdht", true},
+		{lint.WireBoundsAnalyzer, "dhsketch/internal/core", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Match(c.path); got != c.want {

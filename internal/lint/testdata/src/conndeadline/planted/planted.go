@@ -1,0 +1,17 @@
+// Package planted holds one conndeadline violation at a pinned
+// position (see TestPlantedPositions).
+package planted
+
+import "time"
+
+type conn struct{}
+
+func (conn) Read(p []byte) (int, error)         { return 0, nil }
+func (conn) SetDeadline(t time.Time) error      { return nil }
+func (conn) SetReadDeadline(t time.Time) error  { return nil }
+func (conn) SetWriteDeadline(t time.Time) error { return nil }
+
+func violate() {
+	var c conn
+	c.Read(nil) // want `no dominating deadline`
+}

@@ -1,0 +1,85 @@
+// Package a is a gorolifecycle fixture shaped like the server's accept
+// loop and maintenance tickers: goroutines that join a WaitGroup, watch
+// a quit channel, or — the violations — do neither.
+package a
+
+import "sync"
+
+type server struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+}
+
+// worker joins the WaitGroup: a compliant named goroutine body.
+func (s *server) worker() {
+	defer s.wg.Done()
+}
+
+// helper neither joins nor watches anything.
+func (s *server) helper() {}
+
+// goodNamed: Add precedes the launch, worker Dones.
+func (s *server) goodNamed() {
+	s.wg.Add(1)
+	go s.worker()
+}
+
+// goodLiteral: the literal body Dones directly.
+func (s *server) goodLiteral() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+// goodNested: the literal inherits worker's Done through its fact.
+func (s *server) goodNested() {
+	s.wg.Add(1)
+	go func() {
+		s.worker()
+	}()
+}
+
+// goodQuit: a shutdown-channel watcher needs no WaitGroup.
+func (s *server) goodQuit() {
+	go func() {
+		for {
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// watchQuit receives from the quit channel; named-callee variant.
+func (s *server) watchQuit() {
+	<-s.quit
+}
+
+func (s *server) goodNamedQuit() {
+	go s.watchQuit()
+}
+
+// badFireAndForget is tied to nothing.
+func (s *server) badFireAndForget() {
+	go func() { s.helper() }() // want `fire-and-forget`
+}
+
+// badNamed launches a do-nothing named function.
+func (s *server) badNamed() {
+	go s.helper() // want `fire-and-forget`
+}
+
+// badNoAdd joins a WaitGroup nobody Added to before the launch: Close
+// can return before — or race — the goroutine's Done.
+func (s *server) badNoAdd() {
+	go s.worker() // want `no WaitGroup.Add precedes`
+}
+
+// allowed pins the escape hatch.
+func (s *server) allowed() {
+	//dhslint:allow gorolifecycle(fixture: process-lifetime helper by design)
+	go s.helper()
+}

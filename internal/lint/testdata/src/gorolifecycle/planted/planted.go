@@ -1,0 +1,9 @@
+// Package planted holds one gorolifecycle violation at a pinned
+// position (see TestPlantedPositions).
+package planted
+
+func work() {}
+
+func violate() {
+	go work() // want `fire-and-forget`
+}

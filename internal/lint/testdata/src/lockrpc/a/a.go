@@ -1,0 +1,93 @@
+// Package a is a lockrpc fixture shaped like the peer pool and the
+// cluster maintenance driver: RPC-ish helpers that write to a
+// connection-shaped value, and critical sections that do or do not
+// span them.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type conn struct{}
+
+func (conn) Read(p []byte) (int, error)    { return 0, nil }
+func (conn) Write(p []byte) (int, error)   { return 0, nil }
+func (conn) SetDeadline(t time.Time) error { return nil }
+
+// rpc performs network I/O directly: the netio base case.
+func rpc(c conn) error {
+	_, err := c.Write(nil)
+	return err
+}
+
+// exchange is transitively netio through rpc: the fact chain.
+func exchange(c conn) error {
+	return rpc(c)
+}
+
+type pool struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	state int
+}
+
+// badDefer holds mu to the function end (deferred unlock) across an
+// RPC.
+func (p *pool) badDefer(c conn) error {
+	p.mu.Lock() // want `held across network I/O`
+	defer p.mu.Unlock()
+	return exchange(c)
+}
+
+// badExplicit holds mu across the I/O even though it unlocks later.
+func (p *pool) badExplicit(c conn) {
+	p.mu.Lock() // want `held across network I/O`
+	rpc(c)
+	p.mu.Unlock()
+}
+
+// badRead holds a read lock across the I/O: RLock counts too.
+func (p *pool) badRead(c conn) {
+	p.rw.RLock() // want `held across network I/O`
+	defer p.rw.RUnlock()
+	rpc(c)
+}
+
+// good releases the lock before the RPC: the snapshot-then-exchange
+// discipline the real tree follows.
+func (p *pool) good(c conn) error {
+	p.mu.Lock()
+	p.state++
+	p.mu.Unlock()
+	return exchange(c)
+}
+
+// goodInterleaved re-locks after the RPC; neither interval covers it.
+func (p *pool) goodInterleaved(c conn) {
+	p.mu.Lock()
+	p.state++
+	p.mu.Unlock()
+	rpc(c)
+	p.mu.Lock()
+	p.state--
+	p.mu.Unlock()
+}
+
+// goodGoroutine launches the RPC; the go statement returns immediately
+// and the spawned body does not hold the caller's critical section in
+// this analysis.
+func (p *pool) goodGoroutine(c conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() { rpc(c) }()
+	p.state++
+}
+
+// allowed pins the escape hatch: an intentional serialization lock.
+func (p *pool) allowed(c conn) error {
+	//dhslint:allow lockrpc(fixture: serializes exchanges by design)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return exchange(c)
+}

@@ -1,0 +1,23 @@
+// Package planted holds one lockrpc violation at a pinned position
+// (see TestPlantedPositions).
+package planted
+
+import (
+	"sync"
+	"time"
+)
+
+type conn struct{}
+
+func (conn) Write(p []byte) (int, error)   { return 0, nil }
+func (conn) SetDeadline(t time.Time) error { return nil }
+
+type srv struct {
+	mu sync.Mutex
+}
+
+func (s *srv) violate(c conn) {
+	s.mu.Lock() // want `held across network I/O`
+	defer s.mu.Unlock()
+	c.Write(nil)
+}

@@ -1,0 +1,99 @@
+// Package a is a wirebounds fixture shaped like the wire decoders:
+// peer-controlled integers pulled out of a byte buffer, allocations
+// sized from them, and the two legitimate guard shapes (a named cap
+// constant, the input length).
+package a
+
+import "encoding/binary"
+
+const maxFrame = 1 << 20
+
+// guardedByConst mirrors readFrame: decoded length checked against a
+// named cap before allocating.
+func guardedByConst(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	if n > maxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// guardedByLen mirrors DecodeProbeResp: counts checked against the
+// bytes that actually arrived.
+func guardedByLen(buf []byte) [][]byte {
+	count := int(binary.BigEndian.Uint16(buf[2:]))
+	mask := int(binary.BigEndian.Uint16(buf[4:]))
+	if len(buf) < 8+count*mask {
+		return nil
+	}
+	out := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, make([]byte, mask))
+	}
+	return out
+}
+
+// unguarded allocates straight from the decoded length.
+func unguarded(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	return make([]byte, n) // want `no preceding bound check`
+}
+
+// guardTooLate checks after the allocation: domination is positional.
+func guardTooLate(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	buf := make([]byte, n) // want `no preceding bound check`
+	if n > maxFrame {
+		return nil
+	}
+	return buf
+}
+
+// inline allocates from an inline decode that cannot have been guarded.
+func inline(hdr []byte) []byte {
+	return make([]byte, binary.BigEndian.Uint16(hdr)) // want `no preceding bound check`
+}
+
+type msg struct {
+	n       uint16
+	metrics []uint64
+}
+
+// decodeMsg is decoder-shaped by name: its result is tainted wholesale.
+func decodeMsg(buf []byte) msg {
+	return msg{n: binary.BigEndian.Uint16(buf)}
+}
+
+// throughStruct taints via a decoded struct's field.
+func throughStruct(buf []byte) []byte {
+	m := decodeMsg(buf)
+	return make([]byte, m.n) // want `no preceding bound check`
+}
+
+// throughStructGuarded is the fixed shape of the same flow.
+func throughStructGuarded(buf []byte) []byte {
+	m := decodeMsg(buf)
+	if int(m.n) > maxFrame {
+		return nil
+	}
+	return make([]byte, m.n)
+}
+
+// lenOfDecoded is exempt: the length of a decoded slice is bounded by
+// the bytes that arrived, and is the legitimate loop bound.
+func lenOfDecoded(buf []byte) []uint64 {
+	m := decodeMsg(buf)
+	return make([]uint64, len(m.metrics))
+}
+
+// untainted sizes come from the caller's own config, not the wire.
+func untainted(m int) []byte {
+	return make([]byte, m)
+}
+
+// allowed pins the escape hatch.
+func allowed(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	//dhslint:allow wirebounds(fixture: trusted side-channel length)
+	return make([]byte, n)
+}

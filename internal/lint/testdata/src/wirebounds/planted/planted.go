@@ -1,0 +1,10 @@
+// Package planted holds one wirebounds violation at a pinned position
+// (see TestPlantedPositions).
+package planted
+
+import "encoding/binary"
+
+func violate(hdr []byte) []byte {
+	n := binary.BigEndian.Uint16(hdr)
+	return make([]byte, n) // want `no preceding bound check`
+}

@@ -1,0 +1,208 @@
+package netdht
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dhsketch/internal/chord"
+	"dhsketch/internal/dht"
+	"dhsketch/internal/sim"
+	"dhsketch/internal/sketch"
+)
+
+// Failure-path coverage for the RPC client: retry exhaustion, the
+// Count accounting contract when peers are unreachable, and Join's
+// bootstrap retry window.
+
+// deadAddr binds a loopback port and releases it, yielding an address
+// that refuses connections (nothing re-listens during the test).
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// fastClient builds a client with one retry and a tiny backoff so
+// exhausting the retry budget takes milliseconds, not seconds.
+func fastClient(t *testing.T, entry string, k uint, m int) *Client {
+	t.Helper()
+	c, err := NewClient(ClientConfig{
+		Entry:       entry,
+		K:           k,
+		M:           m,
+		Lim:         2,
+		Retries:     1,
+		Backoff:     time.Millisecond,
+		DialTimeout: 500 * time.Millisecond,
+		RPCTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestInsertRetryExhaustion: an Insert against an entry nobody listens
+// on burns its full retry budget and surfaces dht.ErrNodeDown — the
+// crash-stop signature mapNetErr assigns to a refused connection —
+// through the client's error wrapping.
+func TestInsertRetryExhaustion(t *testing.T) {
+	c := fastClient(t, deadAddr(t), 8, 16)
+	err := c.Insert(42, 12345)
+	if err == nil {
+		t.Fatal("Insert against a dead entry succeeded")
+	}
+	if !errors.Is(err, dht.ErrNodeDown) {
+		t.Fatalf("Insert error = %v, want dht.ErrNodeDown in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "insert lookup") {
+		t.Fatalf("Insert error %q lost the operation context", err)
+	}
+}
+
+// TestCountDeadEntryAccounting: with every probe of every interval
+// failing, Count still returns (no hard error — the caller reads the
+// damage from the accounting) and the books balance exactly: each of
+// the maxBit+1 intervals spends its full Lim budget, every attempt
+// fails, and every interval is skipped.
+func TestCountDeadEntryAccounting(t *testing.T) {
+	// K=8, M=16: maxBit = 8 - log2(16) = 4, so 5 intervals (PCSA scans
+	// bits 0..maxBit inclusive).
+	c := fastClient(t, deadAddr(t), 8, 16)
+	res, err := c.Count(42)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	const intervals = 5
+	wantAttempts := intervals * 2 // Lim=2
+	if res.ProbesAttempted != wantAttempts {
+		t.Errorf("ProbesAttempted = %d, want %d (intervals×Lim)", res.ProbesAttempted, wantAttempts)
+	}
+	if res.ProbesFailed != wantAttempts {
+		t.Errorf("ProbesFailed = %d, want %d (every attempt)", res.ProbesFailed, wantAttempts)
+	}
+	if res.IntervalsSkipped != intervals {
+		t.Errorf("IntervalsSkipped = %d, want %d (every interval)", res.IntervalsSkipped, intervals)
+	}
+}
+
+// TestCountSurvivesPeerDeath: counting against a ring where most
+// members crashed completes without a hard error, records probe
+// failures, and still spends the per-interval budget. This is the
+// networked analogue of the simulator's degraded-quality path.
+func TestCountSurvivesPeerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network-heavy")
+	}
+	env := sim.NewEnv(7)
+	c, err := NewCluster(env, 4, chord.ProtocolConfig{})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	servers := c.Servers()
+	entry := servers[0]
+	for _, s := range servers[1:] {
+		c.Crash(s)
+	}
+
+	cl, err := NewClient(ClientConfig{
+		Entry:       entry.Addr(),
+		K:           8,
+		M:           16,
+		Kind:        sketch.KindSuperLogLog,
+		Lim:         2,
+		Retries:     1,
+		Backoff:     time.Millisecond,
+		DialTimeout: 500 * time.Millisecond,
+		RPCTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(cl.Close)
+
+	res, err := cl.Count(42)
+	if err != nil {
+		t.Fatalf("Count over a mostly-dead ring: %v", err)
+	}
+	if res.ProbesFailed == 0 {
+		t.Error("three of four owners are dead but no probe failed")
+	}
+	if res.ProbesAttempted < res.ProbesFailed {
+		t.Errorf("accounting inverted: attempted %d < failed %d", res.ProbesAttempted, res.ProbesFailed)
+	}
+}
+
+// TestJoinBackoffTiming: Join retries its bootstrap exchange with
+// linear backoff (3 retries at the 50ms default: 50+100+150ms of
+// sleeps). Against a dead bootstrap it must both fail with
+// dht.ErrNodeDown and demonstrably have waited — a sub-250ms failure
+// means the backoff never happened.
+func TestJoinBackoffTiming(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", Options{DialTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(s.Close)
+
+	start := time.Now()
+	err = s.Join(deadAddr(t))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Join via a dead bootstrap succeeded")
+	}
+	if !errors.Is(err, dht.ErrNodeDown) {
+		t.Fatalf("Join error = %v, want dht.ErrNodeDown in the chain", err)
+	}
+	if elapsed < 250*time.Millisecond {
+		t.Fatalf("Join failed after %v: retry backoff did not run", elapsed)
+	}
+}
+
+// TestJoinLateBootstrap: a bootstrap that comes up inside Join's retry
+// window (sleeps start at t≈0 and the last attempt lands around
+// t≈300ms) is still joined — daemons started in parallel by an
+// orchestrator do not need a strict ordering.
+func TestJoinLateBootstrap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	addr := deadAddr(t)
+
+	joiner, err := NewServer("127.0.0.1:0", Options{DialTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewServer joiner: %v", err)
+	}
+	t.Cleanup(joiner.Close)
+
+	type bootResult struct {
+		s   *Server
+		err error
+	}
+	bootCh := make(chan bootResult, 1)
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		boot, err := NewServer(addr, Options{DialTimeout: 500 * time.Millisecond})
+		bootCh <- bootResult{boot, err}
+	}()
+
+	err = joiner.Join(addr)
+	boot := <-bootCh
+	if boot.err != nil {
+		t.Skipf("could not re-bind %s for the late bootstrap: %v", addr, boot.err)
+	}
+	t.Cleanup(boot.s.Close)
+	if err != nil {
+		t.Fatalf("Join did not reach the late-starting bootstrap: %v", err)
+	}
+}

@@ -37,9 +37,20 @@ type Cluster struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// stepMu serializes Step drivers. It is a dedicated lock precisely so
+	// the protocol rounds' RPCs never run under mu: concurrent readers of
+	// the membership oracle (Owner, RandomNode, routed counting) must not
+	// queue behind a round that is busy timing out against a dead peer.
+	stepMu sync.Mutex
+
 	mu   sync.RWMutex
 	live []*Server // alive servers in ID order: the membership oracle
 	all  map[uint64]*Server
+
+	// epoch counts membership changes (crashes). Step snapshots it before
+	// running rounds unlocked and discards its convergence bookkeeping if
+	// a crash intervened.
+	epoch int
 
 	lastStep          int64
 	stabClean         bool
@@ -333,6 +344,7 @@ func (c *Cluster) Crash(n dht.Node) {
 	if idx < len(c.live) && c.live[idx] == s {
 		c.live = append(c.live[:idx], c.live[idx+1:]...)
 	}
+	c.epoch++
 	c.stabClean = false
 	c.fingerCleanStreak = 0
 	c.converged = false
@@ -343,55 +355,73 @@ func (c *Cluster) Crash(n dht.Node) {
 // chord.ProtocolConfig.DueAt — identical to the simulated ring's — but
 // each round's exchanges are real RPCs, so liveness is discovered by
 // connection failure rather than a shared-memory flag.
+//
+// The rounds run without holding mu (lockrpc invariant, DESIGN.md §10):
+// Step snapshots the live set and convergence bookkeeping, drives the
+// RPCs under stepMu only, and writes the bookkeeping back unless a
+// concurrent Crash bumped the membership epoch — in which case the
+// stale results are discarded and the ring simply stabilizes on a later
+// Step. A round sweeping a server that crashed mid-step is safe: closed
+// servers answer their rounds with an immediate no-op.
 func (c *Cluster) Step() {
+	//dhslint:allow lockrpc(stepMu exists to serialize Step drivers and is deliberately held across the round RPCs; no RPC handler or oracle read ever takes it)
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	now := c.env.Clock.Now()
+	start := c.lastStep + 1
+	c.lastStep = now
 	if c.converged {
-		c.lastStep = now
+		c.mu.Unlock()
 		return
 	}
-	for t := c.lastStep + 1; t <= now; t++ {
+	live := append([]*Server(nil), c.live...)
+	epoch := c.epoch
+	stabClean := c.stabClean
+	streak := c.fingerCleanStreak
+	c.mu.Unlock()
+
+	converged := false
+	for t := start; t <= now && !converged; t++ {
 		due := c.cfg.DueAt(t)
 		if due.Has(chord.RoundStabilize) {
 			changes := 0
-			for _, s := range c.live {
+			for _, s := range live {
 				changes += s.stabilizeRound()
 			}
-			c.stabClean = changes == 0
-			c.updateConverged()
+			stabClean = changes == 0
 		}
 		if due.Has(chord.RoundFixFingers) {
 			changes := 0
-			for _, s := range c.live {
+			for _, s := range live {
 				changes += s.fixFingersRound()
 			}
 			if changes == 0 {
-				c.fingerCleanStreak++
+				streak++
 			} else {
-				c.fingerCleanStreak = 0
+				streak = 0
 			}
-			c.updateConverged()
 		}
 		if due.Has(chord.RoundCheckPred) {
 			changes := 0
-			for _, s := range c.live {
+			for _, s := range live {
 				changes += s.checkPredRound()
 			}
 			if changes > 0 {
-				c.stabClean = false
-				c.updateConverged()
+				stabClean = false
 			}
 		}
-		if c.converged {
-			break
-		}
+		converged = stabClean && streak >= fingerCycle(c.cfg)
 	}
-	c.lastStep = now
-}
 
-func (c *Cluster) updateConverged() {
-	c.converged = c.stabClean && c.fingerCleanStreak >= fingerCycle(c.cfg)
+	c.mu.Lock()
+	if c.epoch == epoch {
+		c.stabClean = stabClean
+		c.fingerCleanStreak = streak
+		c.converged = converged
+	}
+	c.mu.Unlock()
 }
 
 // Converged reports whether the protocol state is quiescent (see

@@ -25,7 +25,12 @@ var (
 
 // writeFrame sends one length-prefixed payload. Header and payload go
 // out in a single Write so a frame is one TCP send on the common path.
+// The size bound is enforced symmetrically: a payload the remote reader
+// is guaranteed to refuse fails here, before any bytes move.
 func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return errFrameTooBig
+	}
 	buf := make([]byte, 4+len(payload))
 	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
 	copy(buf[4:], payload)

@@ -90,6 +90,11 @@ func (p *peerPool) get(addr string) (*peerConn, error) {
 	}
 	p.mu.Unlock()
 
+	// pc.mu is the per-peer one-in-flight discipline: it is *supposed* to
+	// be held across the dial and the exchange that follows, and it never
+	// nests inside p.mu or any server lock — only this one peer's second
+	// request queues behind it.
+	//dhslint:allow lockrpc(pc.mu serializes one peer's exchanges by design; held across dial+RPC intentionally, never nested under another lock)
 	pc.mu.Lock() // held by the caller through the exchange
 	if pc.c == nil {
 		c, err := net.DialTimeout("tcp", addr, p.dialTimeout)

@@ -1,0 +1,118 @@
+package netdht
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"dhsketch/internal/wire"
+)
+
+// Regression tests for the dhslint v2 findings fixed in this package:
+// the probe-request allocation bound (wirebounds), the symmetric
+// writeFrame size check, and the handleConn idle deadline
+// (conndeadline).
+
+// TestProbeReqOversizeRejected: a 400-odd-byte probe request claiming
+// 65535 vectors across 200 metrics would demand ~1.6 MiB of mask
+// allocations — more than one frame can carry back. The server must
+// refuse it with errnoBad before allocating, and keep answering
+// well-formed requests on the same dispatch path.
+func TestProbeReqOversizeRejected(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(s.Close)
+
+	req, err := wire.EncodeProbeReq(wire.ProbeReq{
+		Bit:     0,
+		NumVecs: 65535,
+		Metrics: make([]uint64, 200),
+	})
+	if err != nil {
+		t.Fatalf("EncodeProbeReq: %v", err)
+	}
+	if overflow := 8 + 200*wire.MaskBytes(65535); overflow <= maxFrame {
+		t.Fatalf("test premise broken: %d-byte reply fits a frame", overflow)
+	}
+	raw := s.dispatch(req)
+	if len(raw) < 2 || raw[1] != tagErr {
+		t.Fatalf("oversize probe-req got %v, want a tagErr reply", raw)
+	}
+	code, _, _, derr := decodeErr(raw)
+	if derr != nil || code != errnoBad {
+		t.Fatalf("oversize probe-req errno = %d (%v), want errnoBad", code, derr)
+	}
+
+	small, err := wire.EncodeProbeReq(wire.ProbeReq{Bit: 3, NumVecs: 64, Metrics: []uint64{7}})
+	if err != nil {
+		t.Fatalf("EncodeProbeReq small: %v", err)
+	}
+	resp, err := wire.DecodeProbeResp(s.dispatch(small))
+	if err != nil {
+		t.Fatalf("well-formed probe-req after rejection: %v", err)
+	}
+	if len(resp.VecMasks) != 1 || len(resp.VecMasks[0]) != wire.MaskBytes(64) {
+		t.Fatalf("probe reply shape: %d masks of %d bytes", len(resp.VecMasks), len(resp.VecMasks[0]))
+	}
+}
+
+// TestWriteFrameOversize: the writer enforces the same maxFrame bound
+// the reader does, so an over-large payload fails at the source instead
+// of poisoning the peer's stream.
+func TestWriteFrameOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, maxFrame+1)); !errors.Is(err, errFrameTooBig) {
+		t.Fatalf("writeFrame(maxFrame+1) = %v, want errFrameTooBig", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversize write left %d bytes on the stream", buf.Len())
+	}
+	if err := writeFrame(&buf, make([]byte, maxFrame)); err != nil {
+		t.Fatalf("writeFrame(maxFrame) = %v, want success", err)
+	}
+}
+
+// TestServerReapsIdleConn: handleConn arms a read deadline before every
+// frame, so a connected-but-silent peer is reaped instead of pinning a
+// handler goroutine forever. The timeout is a package variable so this
+// test can shrink it; tests in this package run sequentially, so the
+// save/restore cannot race another server.
+func TestServerReapsIdleConn(t *testing.T) {
+	// Restore after Close: Close drains the handler goroutines that
+	// read the variable, so the LIFO defer order (restore registered
+	// first, Close last) is what keeps the write race-free.
+	saved := serverIdleTimeout
+	serverIdleTimeout = 100 * time.Millisecond
+	defer func() { serverIdleTimeout = saved }()
+
+	s, err := NewServer("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer s.Close()
+
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, err = c.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("read on an idle conn unexpectedly returned data")
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		t.Fatalf("client deadline fired first (%v): server never reaped the idle conn", err)
+	}
+	if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		// A RST surfaces as ECONNRESET rather than EOF; both prove the
+		// server-side close happened.
+		t.Logf("idle conn closed with %v (accepted: any server-side close)", err)
+	}
+}

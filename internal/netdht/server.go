@@ -188,6 +188,18 @@ func (s *Server) serve() {
 	}
 }
 
+// Server-side socket deadlines (conndeadline invariant, DESIGN.md §10):
+// an inbound connection that sends nothing for serverIdleTimeout is
+// reaped — clients tolerate this transparently, because the peer pool
+// redials on a failed exchange — and a reply write that cannot drain
+// within serverWriteTimeout abandons the connection rather than parking
+// the handler goroutine behind a stalled peer forever. Variables, not
+// constants, so tests can shrink them.
+var (
+	serverIdleTimeout  = 5 * time.Minute
+	serverWriteTimeout = 30 * time.Second
+)
+
 func (s *Server) handleConn(c net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -197,8 +209,14 @@ func (s *Server) handleConn(c net.Conn) {
 		c.Close()
 	}()
 	for {
+		if err := c.SetReadDeadline(time.Now().Add(serverIdleTimeout)); err != nil {
+			return
+		}
 		req, err := readFrame(c)
 		if err != nil {
+			return
+		}
+		if err := c.SetWriteDeadline(time.Now().Add(serverWriteTimeout)); err != nil {
 			return
 		}
 		if err := writeFrame(c, s.dispatch(req)); err != nil {
@@ -441,6 +459,13 @@ func (s *Server) handleProbeReq(req []byte) []byte {
 	st, _ := s.App().(*store.Store)
 	now := s.nowFn()
 	maskLen := wire.MaskBytes(int(m.NumVecs))
+	// NumVecs and the metric list are peer-controlled: a 12-byte request
+	// claiming 65535 vectors across 65535 metrics would demand ~512 MiB
+	// of mask allocations. Refuse any request whose reply could not fit
+	// one frame before allocating for it (wirebounds invariant).
+	if 8+len(m.Metrics)*maskLen > maxFrame {
+		return encodeErr(errnoBad, 0, 0)
+	}
 	masks := make([][]byte, len(m.Metrics))
 	for i, metric := range m.Metrics {
 		mask := make([]byte, maskLen)

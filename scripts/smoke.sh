@@ -15,13 +15,17 @@
 #   ITEMS   distinct items inserted  (default 2000)
 #   TOL     accepted relative error  (default 0.35; m=64 sLL ≈ 13% σ)
 #   LOGDIR  node log directory       (default ./smoke-logs)
+#
+# Ports are dynamic: every node listens on 127.0.0.1:0 and the script
+# reads the kernel-assigned address back from the node's "serving on"
+# log line, so concurrent smoke runs (or anything else on the host)
+# never collide on a fixed port range.
 set -euo pipefail
 
 NODES="${NODES:-5}"
 ITEMS="${ITEMS:-2000}"
 TOL="${TOL:-0.35}"
 LOGDIR="${LOGDIR:-smoke-logs}"
-BASE_PORT="${BASE_PORT:-42001}"
 
 cd "$(dirname "$0")/.."
 mkdir -p "$LOGDIR"
@@ -48,12 +52,30 @@ cleanup() {
 }
 trap cleanup EXIT
 
-ENTRY="127.0.0.1:$BASE_PORT"
-echo "== starting $NODES-node ring (bootstrap $ENTRY)"
-"$BIN" serve -listen "$ENTRY" -name node-0 >"$LOGDIR/node-0.log" 2>&1 &
+# wait_for_addr LOGFILE — poll the node log for the "serving on ADDR"
+# line and print ADDR. The daemon logs it right after binding, so this
+# doubles as the startup barrier.
+wait_for_addr() {
+    local logfile=$1 addr
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/.*serving on \([0-9.]*:[0-9]*\).*/\1/p' "$logfile" 2>/dev/null | head -n1)
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "== $logfile never reported a listen address" >&2
+    return 1
+}
+
+echo "== starting $NODES-node ring (dynamic ports)"
+"$BIN" serve -listen 127.0.0.1:0 -name node-0 >"$LOGDIR/node-0.log" 2>&1 &
 PIDS+=($!)
+ENTRY=$(wait_for_addr "$LOGDIR/node-0.log")
+echo "== bootstrap $ENTRY"
 for i in $(seq 1 $((NODES - 1))); do
-    "$BIN" serve -listen "127.0.0.1:$((BASE_PORT + i))" -join "$ENTRY" -name "node-$i" \
+    "$BIN" serve -listen 127.0.0.1:0 -join "$ENTRY" -name "node-$i" \
         >"$LOGDIR/node-$i.log" 2>&1 &
     PIDS+=($!)
 done
