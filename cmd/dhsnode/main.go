@@ -18,9 +18,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +32,7 @@ import (
 
 	"dhsketch/internal/chord"
 	"dhsketch/internal/core"
+	"dhsketch/internal/metrics"
 	"dhsketch/internal/netdht"
 	"dhsketch/internal/sketch"
 )
@@ -56,6 +60,8 @@ func main() {
 		runInsert(os.Args[2:])
 	case "count":
 		runCount(os.Args[2:])
+	case "status":
+		runStatus(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -72,6 +78,7 @@ subcommands:
   serve    host one ring member (join an existing ring via -join)
   insert   record items under a metric through any ring member
   count    estimate a metric's cardinality through any ring member
+  status   query a member's admin endpoint (dhsnode status <admin-addr>)
 
 run 'dhsnode <subcommand> -h' for the subcommand's flags
 `)
@@ -86,17 +93,36 @@ func runServe(args []string) {
 	stabilize := fs.Int64("stabilize-every", 1, "stabilize round period, in ticks")
 	fixFingers := fs.Int64("fix-fingers-every", 1, "fix-fingers round period, in ticks")
 	checkPred := fs.Int64("check-pred-every", 2, "check-predecessor round period, in ticks")
+	admin := fs.String("admin", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof (empty: disabled)")
+	quiet := fs.Bool("quiet", false, "suppress structured operational log lines (startup and fatal messages still print)")
 	fs.Parse(args)
 
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
+	var reg *metrics.Registry
+	if *admin != "" {
+		reg = metrics.New()
+	}
 	s, err := netdht.NewServer(*listen, netdht.Options{
 		Name:     *name,
 		Protocol: chordProtocol(*stabilize, *fixFingers, *checkPred),
-		Logf:     log.Printf,
+		Logf:     logf,
+		Metrics:  reg,
 	})
 	if err != nil {
 		log.Fatalf("serve: %v", err)
 	}
 	log.Printf("serving on %s (id %016x)", s.Addr(), s.ID())
+	if *admin != "" {
+		adminAddr, err := s.StartAdmin(*admin, reg)
+		if err != nil {
+			s.Close()
+			log.Fatalf("serve: %v", err)
+		}
+		log.Printf("admin on %s", adminAddr)
+	}
 
 	if *join != "" {
 		// The bootstrap may still be starting (scripts launch all
@@ -159,9 +185,12 @@ func runCount(args []string) {
 	if err != nil {
 		log.Fatalf("count: %v", err)
 	}
-	fmt.Printf("metric=%q estimate=%.0f probes=%d failed=%d skipped=%d elapsed=%v\n",
+	fmt.Printf("metric=%q estimate=%.0f probes=%d failed=%d skipped=%d degraded=%v elapsed=%v\n",
 		*metric, res.Estimate, res.ProbesAttempted, res.ProbesFailed, res.IntervalsSkipped,
-		time.Since(start).Round(time.Millisecond))
+		res.Degraded, time.Since(start).Round(time.Millisecond))
+	if res.Degraded {
+		fmt.Println("warning: scan lost evidence (failed probes or skipped intervals); estimate may be low")
+	}
 	if *expect > 0 {
 		re := res.Estimate / *expect
 		if re > 1 {
@@ -175,6 +204,54 @@ func runCount(args []string) {
 			os.Exit(1)
 		}
 		fmt.Println("OK: estimate within tolerance")
+	}
+}
+
+// runStatus queries one node's admin endpoint: /statusz for the ring
+// snapshot, /healthz for the verdict. Exits nonzero when the node is
+// unreachable or unhealthy, so scripts can assert ring health.
+func runStatus(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	timeout := fs.Duration("timeout", 5*time.Second, "HTTP request timeout")
+	fs.Parse(args)
+	addr := fs.Arg(0)
+	if addr == "" {
+		log.Fatal("usage: dhsnode status <admin-addr>")
+	}
+
+	hc := &http.Client{Timeout: *timeout}
+	var st netdht.Status
+	resp, err := hc.Get("http://" + addr + "/statusz")
+	if err != nil {
+		log.Fatalf("status: %v", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatalf("status: decode /statusz: %v", err)
+	}
+
+	healthy := false
+	health := "unreachable"
+	if hr, err := hc.Get("http://" + addr + "/healthz"); err == nil {
+		body, _ := io.ReadAll(hr.Body)
+		hr.Body.Close()
+		healthy = hr.StatusCode == http.StatusOK
+		health = strings.TrimSpace(string(body))
+	}
+
+	fmt.Printf("node id=%s name=%q addr=%s alive=%v linked=%v tick=%d\n",
+		st.ID, st.Name, st.Addr, st.Alive, st.Linked, st.Tick)
+	fmt.Printf("health ok=%v detail=%q\n", healthy, health)
+	fmt.Printf("ring predecessor=%q successors=%d fingers=%d\n",
+		st.Predecessor, len(st.Successors), st.Fingers)
+	for i, succ := range st.Successors {
+		fmt.Printf("successor[%d]=%s\n", i, succ)
+	}
+	fmt.Printf("store tuples=%d bytes=%d\n", st.StoreTuples, st.StoreBytes)
+	fmt.Printf("load routed=%d probed=%d store_ops=%d\n", st.Routed, st.Probed, st.StoreOps)
+	if !healthy {
+		os.Exit(1)
 	}
 }
 

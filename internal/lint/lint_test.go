@@ -142,4 +142,19 @@ func TestMatchScopes(t *testing.T) {
 	if a := lint.DeterminismAnalyzer; a.Match != nil && !a.Match("dhsketch/internal/obs") {
 		t.Error("determinism analyzer excludes dhsketch/internal/obs")
 	}
+	// The wall-clock domain — the network packages and their runtime
+	// metrics layer — is architecturally excluded; everything else,
+	// including the store whose runtime counters metrics hands out,
+	// stays deterministic-checked.
+	for path, want := range map[string]bool{
+		"dhsketch/internal/netdht":  false,
+		"dhsketch/cmd/dhsnode":      false,
+		"dhsketch/internal/metrics": false,
+		"dhsketch/internal/store":   true,
+		"dhsketch/internal/core":    true,
+	} {
+		if got := lint.DeterminismAnalyzer.Match(path); got != want {
+			t.Errorf("determinism.Match(%q) = %v, want %v", path, got, want)
+		}
+	}
 }

@@ -83,3 +83,44 @@ func (s *server) allowed() {
 	//dhslint:allow gorolifecycle(fixture: process-lifetime helper by design)
 	go s.helper()
 }
+
+// adminSrv is shaped like net/http.Server — a blocking Serve and a
+// Close that unblocks it — so the fixture covers the admin-listener
+// launch pattern without importing net/http.
+type adminSrv struct{}
+
+func (a *adminSrv) Serve() error { return nil }
+func (a *adminSrv) Close() error { return nil }
+
+// goodAdminPair mirrors Server.StartAdmin: the serving goroutine joins
+// the WaitGroup, and the shutdown watcher joins it too while receiving
+// from the quit channel before closing the HTTP server.
+func (s *server) goodAdminPair(hs *adminSrv) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		hs.Serve()
+	}()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		<-s.quit
+		hs.Close()
+	}()
+}
+
+// badAdminServe launches the serving goroutine untracked: shutdown can
+// return while the listener still accepts connections.
+func (s *server) badAdminServe(hs *adminSrv) {
+	go func() { hs.Serve() }() // want `fire-and-forget`
+}
+
+// badAdminWatcher ties the watcher to quit but leaves the serving
+// goroutine joined to a WaitGroup nobody Added to.
+func (s *server) badAdminWatcher(hs *adminSrv) {
+	go s.worker() // want `no WaitGroup.Add precedes`
+	go func() {
+		<-s.quit
+		hs.Close()
+	}()
+}

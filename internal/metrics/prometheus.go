@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE header per
+// family, then one line per series. Output order is deterministic —
+// families sorted by name, series sorted by their canonical label
+// signature, histogram buckets in bound order — so two scrapes of the
+// same state are byte-identical and golden tests can pin the format.
+// A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.sortedSeries() {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	switch f.kind {
+	case kindCounter:
+		writeSample(bw, f.name, s.sig, formatUint(s.c.Value()))
+	case kindGauge:
+		writeSample(bw, f.name, s.sig, strconv.FormatInt(s.g.Value(), 10))
+	case kindGaugeFunc:
+		writeSample(bw, f.name, s.sig, formatFloat(s.gf()))
+	case kindHistogram:
+		h := s.h
+		cum := uint64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			writeSample(bw, f.name+"_bucket", withLE(s.sig, formatFloat(bound)), formatUint(cum))
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		writeSample(bw, f.name+"_bucket", withLE(s.sig, "+Inf"), formatUint(cum))
+		writeSample(bw, f.name+"_sum", s.sig, formatFloat(h.Sum()))
+		writeSample(bw, f.name+"_count", s.sig, formatUint(h.Count()))
+	}
+}
+
+// writeSample emits `name{sig} value\n` (or `name value\n` unlabeled).
+func writeSample(bw *bufio.Writer, name, sig, value string) {
+	bw.WriteString(name)
+	if sig != "" {
+		bw.WriteByte('{')
+		bw.WriteString(sig)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// withLE appends the histogram bucket label to an existing signature.
+func withLE(sig, le string) string {
+	if sig == "" {
+		return `le="` + le + `"`
+	}
+	return sig + `,le="` + le + `"`
+}
+
+// renderLabels canonicalizes a label set into its exposition form:
+// keys sorted, values escaped, `k1="v1",k2="v2"`. Registration-time
+// work, never on an instrument hot path.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatFloat renders a float the shortest way that round-trips —
+// integral values print without an exponent or trailing zeros.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -199,6 +199,17 @@ type CountResult struct {
 	ProbesAttempted  int
 	ProbesFailed     int
 	IntervalsSkipped int
+	// Degraded reports that the scan lost information — probes failed
+	// or whole intervals went unprobed — so the estimate rests on less
+	// evidence than a clean pass would gather. The count subcommand
+	// surfaces it so operators can tell a healthy estimate from one
+	// taken during churn.
+	Degraded bool
+}
+
+// finish derives the summary flags from the accumulated accounting.
+func (r *CountResult) finish() {
+	r.Degraded = r.ProbesFailed > 0 || r.IntervalsSkipped > 0
 }
 
 // Count runs the Algorithm-1 counting scan for metric over RPC:
@@ -292,6 +303,7 @@ func (c *Client) Count(metric uint64) (CountResult, error) {
 			}
 		}
 		res.Estimate = sketch.EstimatePCSA(R)
+		res.finish()
 		return res, nil
 	}
 
@@ -322,6 +334,7 @@ func (c *Client) Count(metric uint64) (CountResult, error) {
 	default:
 		res.Estimate = sketch.EstimateSuperLogLog(ranks)
 	}
+	res.finish()
 	return res, nil
 }
 

@@ -1,0 +1,379 @@
+package netdht
+
+import (
+	"errors"
+
+	"dhsketch/internal/dht"
+	"dhsketch/internal/metrics"
+	"dhsketch/internal/store"
+	"dhsketch/internal/wire"
+)
+
+// This file threads the wall-clock metrics registry (internal/metrics)
+// through both sides of the wire: the server's dispatch loop and the
+// outbound peer pool. The discipline mirrors obs.Tracer — a server
+// built without Options.Metrics carries nil instrument structs, and
+// every hook below no-ops on a nil receiver — so the uninstrumented
+// hot path pays one pointer comparison per event and zero allocations
+// (the regression tests in internal/metrics and internal/store pin
+// this).
+
+// ---------------------------------------------------------------------
+// Label vocabularies. Instruments are pre-registered per label value at
+// construction, indexed by small slots, so hot paths never touch the
+// registry map or build label slices.
+
+// Tag slots partition the RPC tag space the same way dispatch does:
+// the four control tags, the three data-plane tags, and a catch-all
+// for malformed or unknown frames.
+const (
+	slotFindSucc = iota
+	slotNeighbors
+	slotNotify
+	slotPing
+	slotInsert
+	slotBulkInsert
+	slotProbe
+	slotOther
+	numTagSlots
+)
+
+var tagSlotNames = [numTagSlots]string{
+	"find_succ", "neighbors", "notify", "ping",
+	"insert", "bulk_insert", "probe", "other",
+}
+
+func tagSlot(tag byte) int {
+	switch tag {
+	case tagFindSucc:
+		return slotFindSucc
+	case tagNeighbors:
+		return slotNeighbors
+	case tagNotify:
+		return slotNotify
+	case tagPing:
+		return slotPing
+	case wire.TagInsert:
+		return slotInsert
+	case wire.TagBulkInsert:
+		return slotBulkInsert
+	case wire.TagProbeReq:
+		return slotProbe
+	default:
+		return slotOther
+	}
+}
+
+// reqSlot classifies a framed request (or reply) by its tag byte.
+func reqSlot(frame []byte) int {
+	if len(frame) < 2 {
+		return slotOther
+	}
+	return tagSlot(frame[1])
+}
+
+// Error classes follow the mapNetErr taxonomy: a deadline is a
+// timeout, a refused connection is the crash-stop signature, and
+// everything else (resets, EOF mid-reply, closed pools) is "other".
+const (
+	classTimeout = iota
+	classRefused
+	classOtherErr
+	numErrClasses
+)
+
+var errClassNames = [numErrClasses]string{"timeout", "refused", "other"}
+
+func errClass(err error) int {
+	switch {
+	case errors.Is(err, dht.ErrTimeout):
+		return classTimeout
+	case errors.Is(err, dht.ErrNodeDown):
+		return classRefused
+	default:
+		return classOtherErr
+	}
+}
+
+// Maintenance-round slots.
+const (
+	roundStabilize = iota
+	roundFixFingers
+	roundCheckPred
+	numRoundSlots
+)
+
+var roundSlotNames = [numRoundSlots]string{"stabilize", "fix_fingers", "check_pred"}
+
+// ---------------------------------------------------------------------
+// Server-side instruments
+
+// srvMetrics holds the inbound (dispatch) and maintenance-round
+// instruments plus the store runtime counters. All hook methods no-op
+// on a nil receiver.
+type srvMetrics struct {
+	reqTotal   [numTagSlots]*metrics.Counter
+	reqErrors  [numTagSlots]*metrics.Counter
+	reqSeconds [numTagSlots]*metrics.Histogram
+	bytesIn    *metrics.Counter
+	bytesOut   *metrics.Counter
+	frameIn    *metrics.Histogram
+	frameOut   *metrics.Histogram
+
+	roundSeconds [numRoundSlots]*metrics.Histogram
+	roundChanges [numRoundSlots]*metrics.Counter
+
+	storeRT store.Runtime
+}
+
+func newSrvMetrics(reg *metrics.Registry) *srvMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &srvMetrics{
+		bytesIn:  reg.Counter("netdht_server_bytes_total", "bytes moved by the RPC server", metrics.L("dir", "in")),
+		bytesOut: reg.Counter("netdht_server_bytes_total", "bytes moved by the RPC server", metrics.L("dir", "out")),
+		frameIn:  reg.Histogram("netdht_server_frame_bytes", "frame sizes seen by the RPC server", metrics.DefSizeBuckets, metrics.L("dir", "in")),
+		frameOut: reg.Histogram("netdht_server_frame_bytes", "frame sizes seen by the RPC server", metrics.DefSizeBuckets, metrics.L("dir", "out")),
+		storeRT: store.Runtime{
+			Sets:    reg.Counter("dhs_store_sets_total", "tuple inserts and refreshes"),
+			Probes:  reg.Counter("dhs_store_probe_reads_total", "store probe reads"),
+			Sweeps:  reg.Counter("dhs_store_sweeps_total", "expiry-heap sweep passes"),
+			Expired: reg.Counter("dhs_store_expired_total", "tuples deleted by TTL expiry"),
+		},
+	}
+	for i, name := range tagSlotNames {
+		l := metrics.L("tag", name)
+		m.reqTotal[i] = reg.Counter("netdht_rpc_requests_total", "RPC requests dispatched by the server", l)
+		m.reqErrors[i] = reg.Counter("netdht_rpc_errors_total", "RPC requests answered with a typed error", l)
+		m.reqSeconds[i] = reg.Histogram("netdht_rpc_seconds", "server-side RPC handling latency", metrics.DefLatencyBuckets, l)
+	}
+	for i, name := range roundSlotNames {
+		l := metrics.L("round", name)
+		m.roundSeconds[i] = reg.Histogram("netdht_round_seconds", "maintenance round duration", metrics.DefLatencyBuckets, l)
+		m.roundChanges[i] = reg.Counter("netdht_round_changes_total", "protocol state changes made by maintenance rounds", l)
+	}
+	return m
+}
+
+// startRequest meters an inbound frame and begins its latency timer.
+func (m *srvMetrics) startRequest(req []byte) (int, metrics.Timer) {
+	if m == nil {
+		return 0, metrics.Timer{}
+	}
+	slot := reqSlot(req)
+	m.reqTotal[slot].Inc()
+	m.bytesIn.Add(uint64(len(req)))
+	m.frameIn.Observe(float64(len(req)))
+	return slot, m.reqSeconds[slot].Start()
+}
+
+// finishRequest stops the timer and meters the reply frame.
+func (m *srvMetrics) finishRequest(slot int, resp []byte, tm metrics.Timer) {
+	tm.Stop()
+	if m == nil {
+		return
+	}
+	m.bytesOut.Add(uint64(len(resp)))
+	m.frameOut.Observe(float64(len(resp)))
+	if len(resp) >= 2 && resp[1] == tagErr {
+		m.reqErrors[slot].Inc()
+	}
+}
+
+// startRound begins timing one maintenance round.
+func (m *srvMetrics) startRound(slot int) metrics.Timer {
+	if m == nil {
+		return metrics.Timer{}
+	}
+	return m.roundSeconds[slot].Start()
+}
+
+// finishRound stops the timer and meters the round's state changes.
+func (m *srvMetrics) finishRound(slot int, tm metrics.Timer, changes int) {
+	tm.Stop()
+	if m == nil || changes <= 0 {
+		return
+	}
+	m.roundChanges[slot].Add(uint64(changes))
+}
+
+// instrumentStore attaches the runtime counters to a freshly created
+// store (before it is published via SetApp).
+func (m *srvMetrics) instrumentStore(st *store.Store) {
+	if m == nil {
+		return
+	}
+	st.Instrument(m.storeRT)
+}
+
+// ---------------------------------------------------------------------
+// Client-side (peer pool) instruments
+
+// poolMetrics holds the outbound instruments: per-tag latency and
+// error histograms for exchanges, errno-class counters following the
+// mapNetErr taxonomy, and dial/redial/retry counters. All hook methods
+// no-op on a nil receiver.
+type poolMetrics struct {
+	rpcTotal   [numTagSlots]*metrics.Counter
+	rpcErrors  [numTagSlots]*metrics.Counter
+	rpcSeconds [numTagSlots]*metrics.Histogram
+	errClasses [numErrClasses]*metrics.Counter
+
+	dials      *metrics.Counter
+	dialErrors *metrics.Counter
+	redials    *metrics.Counter
+	retries    *metrics.Counter
+
+	bytesOut *metrics.Counter
+	bytesIn  *metrics.Counter
+	frameOut *metrics.Histogram
+	frameIn  *metrics.Histogram
+}
+
+func newPoolMetrics(reg *metrics.Registry) *poolMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &poolMetrics{
+		dials:      reg.Counter("netdht_dials_total", "outbound TCP dial attempts"),
+		dialErrors: reg.Counter("netdht_dial_errors_total", "outbound TCP dials that failed"),
+		redials:    reg.Counter("netdht_redials_total", "transparent redials after a failed exchange on a cached connection"),
+		retries:    reg.Counter("netdht_retries_total", "backoff retries of failed client exchanges"),
+		bytesOut:   reg.Counter("netdht_out_bytes_total", "bytes moved by outbound exchanges", metrics.L("dir", "out")),
+		bytesIn:    reg.Counter("netdht_out_bytes_total", "bytes moved by outbound exchanges", metrics.L("dir", "in")),
+		frameOut:   reg.Histogram("netdht_out_frame_bytes", "frame sizes of outbound exchanges", metrics.DefSizeBuckets, metrics.L("dir", "out")),
+		frameIn:    reg.Histogram("netdht_out_frame_bytes", "frame sizes of outbound exchanges", metrics.DefSizeBuckets, metrics.L("dir", "in")),
+	}
+	for i, name := range tagSlotNames {
+		l := metrics.L("tag", name)
+		m.rpcTotal[i] = reg.Counter("netdht_out_rpc_total", "outbound RPC exchanges", l)
+		m.rpcErrors[i] = reg.Counter("netdht_out_rpc_errors_total", "outbound RPC exchanges that failed in transport", l)
+		m.rpcSeconds[i] = reg.Histogram("netdht_out_rpc_seconds", "outbound RPC round-trip latency", metrics.DefLatencyBuckets, l)
+	}
+	for i, name := range errClassNames {
+		m.errClasses[i] = reg.Counter("netdht_out_errors_total", "outbound transport failures by errno class", metrics.L("class", name))
+	}
+	return m
+}
+
+// startRPC meters one outbound exchange and begins its timer.
+func (m *poolMetrics) startRPC(req []byte) (int, metrics.Timer) {
+	if m == nil {
+		return 0, metrics.Timer{}
+	}
+	slot := reqSlot(req)
+	m.rpcTotal[slot].Inc()
+	m.bytesOut.Add(uint64(len(req)))
+	m.frameOut.Observe(float64(len(req)))
+	return slot, m.rpcSeconds[slot].Start()
+}
+
+// finishRPC stops the timer and meters the outcome: reply bytes on
+// success, per-tag and per-class failure counts on transport error.
+func (m *poolMetrics) finishRPC(slot int, resp []byte, err error, tm metrics.Timer) {
+	tm.Stop()
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.rpcErrors[slot].Inc()
+		m.errClasses[errClass(err)].Inc()
+		return
+	}
+	m.bytesIn.Add(uint64(len(resp)))
+	m.frameIn.Observe(float64(len(resp)))
+}
+
+// dialAttempt meters one TCP dial. Errno classes are metered once per
+// failed exchange (finishRPC), not here, so a failed dial inside an
+// exchange is not double-counted.
+func (m *poolMetrics) dialAttempt(err error) {
+	if m == nil {
+		return
+	}
+	m.dials.Inc()
+	if err != nil {
+		m.dialErrors.Inc()
+	}
+}
+
+// redialAttempt meters a transparent redial after a stale cached
+// connection failed mid-exchange.
+func (m *poolMetrics) redialAttempt() {
+	if m == nil {
+		return
+	}
+	m.redials.Inc()
+}
+
+// retryAttempt meters one backoff retry in exchangeRetry.
+func (m *poolMetrics) retryAttempt() {
+	if m == nil {
+		return
+	}
+	m.retries.Inc()
+}
+
+// ---------------------------------------------------------------------
+// Registry wiring
+
+// registerMetrics builds the server's instrument structs and the
+// scrape-time gauges against reg. Called once from NewServer; a nil
+// registry leaves the server uninstrumented (nil structs, no gauges).
+func (s *Server) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.m = newSrvMetrics(reg)
+	s.peers.m = newPoolMetrics(reg)
+
+	reg.GaugeFunc("netdht_successors", "entries in the believed successor list",
+		func() float64 {
+			s.mu.Lock()
+			n := len(s.succ)
+			s.mu.Unlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("netdht_peer_conns", "cached outbound peer connections",
+		func() float64 { return float64(s.peers.size()) })
+	reg.GaugeFunc("netdht_maintenance_ticks", "wall-clock maintenance ticks elapsed",
+		func() float64 { return float64(s.tick.Load()) })
+	reg.GaugeFunc("netdht_ring_linked", "1 once the node has linked into a ring (joined or notified)",
+		func() float64 {
+			if s.linked.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("dhs_store_tuples", "live tuples in the node's store",
+		func() float64 {
+			if st, ok := s.App().(*store.Store); ok {
+				return float64(st.Len(s.nowFn()))
+			}
+			return 0
+		})
+	reg.GaugeFunc("dhs_store_bytes", "approximate bytes held by the node's store",
+		func() float64 {
+			if st, ok := s.App().(*store.Store); ok {
+				return float64(st.Bytes(s.nowFn()))
+			}
+			return 0
+		})
+	// The dht load counters (paper constraint 3) exposed for scraping.
+	// They are monotonic but typed gauge: the authoritative counter API
+	// is dht.Counters, this is a read-only mirror.
+	reg.GaugeFunc("dhs_node_load", "dht load counters (routed/probed/store_ops)",
+		func() float64 { return float64(s.counters.Snapshot().Routed) }, metrics.L("op", "routed"))
+	reg.GaugeFunc("dhs_node_load", "dht load counters (routed/probed/store_ops)",
+		func() float64 { return float64(s.counters.Snapshot().Probed) }, metrics.L("op", "probed"))
+	reg.GaugeFunc("dhs_node_load", "dht load counters (routed/probed/store_ops)",
+		func() float64 { return float64(s.counters.Snapshot().StoreOps) }, metrics.L("op", "store_ops"))
+}
+
+// size reports the number of cached peer connections (scrape gauge).
+func (p *peerPool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}

@@ -1,0 +1,274 @@
+package netdht
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dhsketch/internal/metrics"
+)
+
+// obsOptions builds server options instrumented against a fresh
+// registry, with the tight loopback transport timings tests use.
+func obsOptions(reg *metrics.Registry, logf func(string, ...any)) Options {
+	return Options{
+		DialTimeout: 500 * time.Millisecond,
+		RPCTimeout:  2 * time.Second,
+		Metrics:     reg,
+		Logf:        logf,
+	}
+}
+
+// TestServerMetricsAndAdmin drives a two-node ring with both sides
+// instrumented and checks the whole observability surface end to end:
+// per-tag RPC counters on server and pool side, dial accounting, the
+// admin endpoints (/metrics exposition, /healthz verdict, /statusz
+// snapshot), and the structured log stream.
+func TestServerMetricsAndAdmin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network-heavy")
+	}
+	var logMu sync.Mutex
+	regBoot := metrics.New()
+	regJoin := metrics.New()
+	var bootLog []string
+	boot, err := NewServer("127.0.0.1:0", obsOptions(regBoot, func(format string, args ...any) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		bootLog = append(bootLog, sprintfFirst(format, args))
+	}))
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	defer boot.Close()
+
+	var joinLog []string
+	joiner, err := NewServer("127.0.0.1:0", obsOptions(regJoin, func(format string, args ...any) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		joinLog = append(joinLog, sprintfFirst(format, args))
+	}))
+	if err != nil {
+		t.Fatalf("joiner: %v", err)
+	}
+	defer joiner.Close()
+
+	adminAddr, err := boot.StartAdmin("127.0.0.1:0", regBoot)
+	if err != nil {
+		t.Fatalf("StartAdmin: %v", err)
+	}
+
+	if err := joiner.Join(boot.Addr()); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	// One stabilize round from each side settles the two-ring and adds
+	// neighbors/notify traffic in both directions.
+	joiner.stabilizeRound()
+	boot.stabilizeRound()
+
+	// Server-side per-tag accounting on the bootstrap: the join issued
+	// find_succ, neighbors, and notify against it.
+	for _, tag := range []string{"find_succ", "neighbors", "notify"} {
+		c := regBoot.Counter("netdht_rpc_requests_total", "", metrics.L("tag", tag))
+		if c.Value() == 0 {
+			t.Errorf("bootstrap served no %s requests", tag)
+		}
+	}
+	// Pool-side accounting on the joiner: outbound exchanges and at
+	// least one dial.
+	if c := regJoin.Counter("netdht_out_rpc_total", "", metrics.L("tag", "find_succ")); c.Value() == 0 {
+		t.Error("joiner pool metered no outbound find_succ")
+	}
+	if c := regJoin.Counter("netdht_dials_total", ""); c.Value() == 0 {
+		t.Error("joiner pool metered no dials")
+	}
+	// Latency histograms observed every exchange they counted.
+	h := regBoot.Histogram("netdht_rpc_seconds", "", metrics.DefLatencyBuckets, metrics.L("tag", "find_succ"))
+	if h.Count() == 0 {
+		t.Error("server latency histogram empty")
+	}
+
+	// /healthz: a linked node with successors is healthy.
+	hc := &http.Client{Timeout: 2 * time.Second}
+	resp, err := hc.Get("http://" + adminAddr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("/healthz = %d %q, want 200 ok", resp.StatusCode, body)
+	}
+
+	// /metrics: Prometheus exposition with the live per-tag series.
+	resp, err = hc.Get("http://" + adminAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q lacks exposition version", ct)
+	}
+	for _, want := range []string{
+		"# TYPE netdht_rpc_requests_total counter",
+		`netdht_rpc_requests_total{tag="find_succ"}`,
+		"# TYPE netdht_rpc_seconds histogram",
+		`netdht_rpc_seconds_bucket{tag="find_succ",le="+Inf"}`,
+		"netdht_successors ",
+		"netdht_ring_linked 1",
+	} {
+		if !strings.Contains(string(expo), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /statusz: the JSON snapshot reflects the ring.
+	resp, err = hc.Get("http://" + adminAddr + "/statusz")
+	if err != nil {
+		t.Fatalf("GET /statusz: %v", err)
+	}
+	var st Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode /statusz: %v", err)
+	}
+	if st.Addr != boot.Addr() || !st.Alive || !st.Linked {
+		t.Errorf("statusz = %+v, want alive linked node at %s", st, boot.Addr())
+	}
+	if len(st.Successors) == 0 || st.Successors[0] != joiner.Addr() {
+		t.Errorf("statusz successors = %v, want head %s", st.Successors, joiner.Addr())
+	}
+
+	// Structured logs: the joiner logged its join as one key=value line.
+	logMu.Lock()
+	joined := ""
+	for _, l := range joinLog {
+		if strings.HasPrefix(l, "event=joined ") {
+			joined = l
+		}
+	}
+	logMu.Unlock()
+	if joined == "" {
+		t.Fatalf("no event=joined log line in %q", joinLog)
+	}
+	if !strings.Contains(joined, "bootstrap="+boot.Addr()) || !strings.Contains(joined, "successor=") {
+		t.Errorf("joined line %q missing bootstrap/successor fields", joined)
+	}
+
+	// Shutdown tears the admin listener down with the server.
+	boot.Close()
+	if _, err := hc.Get("http://" + adminAddr + "/healthz"); err == nil {
+		t.Error("admin listener still serving after Close")
+	}
+	logMu.Lock()
+	closed := false
+	for _, l := range bootLog {
+		if strings.HasPrefix(l, "event=server-closed ") {
+			closed = true
+		}
+	}
+	logMu.Unlock()
+	if !closed {
+		t.Errorf("no event=server-closed log line in %q", bootLog)
+	}
+}
+
+// sprintfFirst renders a Logf invocation the way log.Printf would.
+func sprintfFirst(format string, args []any) string {
+	if len(args) == 0 {
+		return format
+	}
+	if format == "%s" {
+		if s, ok := args[0].(string); ok {
+			return s
+		}
+	}
+	return format
+}
+
+// TestHealthzPartitioned pins the ring-membership-aware health rule: a
+// node that was linked into a ring and then lost every successor
+// reports unhealthy, while a never-linked bootstrap stays healthy.
+func TestHealthzPartitioned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network-heavy")
+	}
+	boot, err := NewServer("127.0.0.1:0", obsOptions(nil, nil))
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	defer boot.Close()
+	if ok, msg := boot.Healthy(); !ok {
+		t.Fatalf("fresh bootstrap unhealthy: %s", msg)
+	}
+
+	joiner, err := NewServer("127.0.0.1:0", obsOptions(nil, nil))
+	if err != nil {
+		t.Fatalf("joiner: %v", err)
+	}
+	defer joiner.Close()
+	if err := joiner.Join(boot.Addr()); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if ok, msg := joiner.Healthy(); !ok {
+		t.Fatalf("joined node unhealthy: %s", msg)
+	}
+
+	// Kill the only peer. check-pred clears the dead predecessor, then
+	// stabilize exhausts the successor list with nothing to fall back
+	// on: the joiner is partitioned.
+	boot.Close()
+	joiner.checkPredRound()
+	joiner.stabilizeRound()
+	joiner.stabilizeRound()
+	if ok, msg := joiner.Healthy(); ok {
+		t.Fatal("partitioned node reports healthy")
+	} else if !strings.Contains(msg, "partitioned") {
+		t.Errorf("verdict %q, want partitioned", msg)
+	}
+}
+
+// TestLogKV pins the structured log line format: event first, fields
+// in call order, values quoted only when they would break key=value
+// tokenization.
+func TestLogKV(t *testing.T) {
+	var lines []string
+	s := &Server{logf: func(format string, args ...any) {
+		lines = append(lines, sprintfFirst(format, args))
+	}}
+	s.logKV("joined", "bootstrap", "127.0.0.1:4001", "successor", "127.0.0.1:4002")
+	s.logKV("failed", "err", "dial tcp: connection refused")
+	s.logKV("odd", "empty", "")
+
+	want := []string{
+		"event=joined bootstrap=127.0.0.1:4001 successor=127.0.0.1:4002",
+		`event=failed err="dial tcp: connection refused"`,
+		`event=odd empty=""`,
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines %q, want %d", len(lines), lines, len(want))
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+
+	// Field order is the call's, not sorted: the same call site always
+	// renders identically.
+	var s2 Server
+	s2.logf = func(format string, args ...any) { lines = append(lines, sprintfFirst(format, args)) }
+	s2.logKV("order", "b", 1, "a", 2)
+	if got := lines[len(lines)-1]; got != "event=order b=1 a=2" {
+		t.Errorf("field order not stable: %q", got)
+	}
+
+	// Nil logf is silent and does not panic.
+	(&Server{}).logKV("noop", "k", "v")
+}

@@ -56,6 +56,7 @@ type peerConn struct {
 type peerPool struct {
 	dialTimeout time.Duration
 	rpcTimeout  time.Duration
+	m           *poolMetrics // nil when metrics are off
 
 	mu     sync.Mutex
 	conns  map[string]*peerConn
@@ -100,8 +101,11 @@ func (p *peerPool) get(addr string) (*peerConn, error) {
 		c, err := net.DialTimeout("tcp", addr, p.dialTimeout)
 		if err != nil {
 			pc.mu.Unlock()
-			return nil, mapNetErr(err)
+			merr := mapNetErr(err)
+			p.m.dialAttempt(merr)
+			return nil, merr
 		}
+		p.m.dialAttempt(nil)
 		pc.c = c
 	}
 	return pc, nil
@@ -112,7 +116,17 @@ func (p *peerPool) get(addr string) (*peerConn, error) {
 // fresh dial: a stale cached socket (the peer restarted, an idle
 // timeout fired) is indistinguishable from a dead peer until a second
 // dial answers. Safe for the idempotent RPC set this package speaks.
+// The metrics hooks meter the exchange per tag (count, bytes, frame
+// size, round-trip latency) and transport failures by errno class;
+// with metrics off they are nil-receiver no-ops.
 func (p *peerPool) exchange(addr string, req []byte) ([]byte, error) {
+	slot, tm := p.m.startRPC(req)
+	resp, err := p.doExchange(addr, req)
+	p.m.finishRPC(slot, resp, err, tm)
+	return resp, err
+}
+
+func (p *peerPool) doExchange(addr string, req []byte) ([]byte, error) {
 	pc, err := p.get(addr)
 	if err != nil {
 		return nil, err
@@ -125,7 +139,9 @@ func (p *peerPool) exchange(addr string, req []byte) ([]byte, error) {
 	}
 	pc.c.Close()
 	pc.c = nil
+	p.m.redialAttempt()
 	c, derr := net.DialTimeout("tcp", addr, p.dialTimeout)
+	p.m.dialAttempt(derr)
 	if derr != nil {
 		return nil, mapNetErr(derr)
 	}
@@ -162,6 +178,7 @@ func (p *peerPool) exchangeRetry(addr string, req []byte, retries int, backoff t
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
+			p.m.retryAttempt()
 			time.Sleep(time.Duration(attempt) * backoff)
 		}
 		resp, err := p.exchange(addr, req)

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/bits"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"dhsketch/internal/chord"
 	"dhsketch/internal/dht"
 	"dhsketch/internal/md4"
+	"dhsketch/internal/metrics"
 	"dhsketch/internal/store"
 	"dhsketch/internal/wire"
 )
@@ -40,8 +43,17 @@ type Options struct {
 	Now func() int64
 
 	// Logf receives operational messages (join, crash discovery,
-	// shutdown). Nil means silent.
+	// shutdown). Nil means silent. Messages arrive as single structured
+	// key=value lines ("event=joined successor=... "), one Logf call per
+	// line, with a stable field order — grep-able and machine-parseable.
 	Logf func(format string, args ...any)
+
+	// Metrics, when non-nil, instruments the server: per-tag RPC
+	// latency/error histograms on both sides of the wire, dial/retry and
+	// errno-class counters, maintenance-round durations, and store
+	// gauges (DESIGN.md §15). Nil means metrics off — the hot paths then
+	// pay one nil check per event and zero allocations.
+	Metrics *metrics.Registry
 }
 
 // Server is one networked ring member: a TCP listener speaking the
@@ -58,6 +70,14 @@ type Server struct {
 	peers *peerPool
 	nowFn func() int64
 	logf  func(string, ...any)
+	m     *srvMetrics // nil when metrics are off
+
+	// linked flips once the node has ever been part of a ring larger
+	// than itself (Join succeeded, a notify adopted a first successor,
+	// or a Cluster seeded peers). /healthz uses it to distinguish a
+	// fresh bootstrap ring-of-one (healthy) from a node that lost every
+	// successor (partitioned).
+	linked atomic.Bool
 
 	// tick is the wall-clock maintenance tick counter — the DueAt
 	// domain when StartMaintenance drives the protocol.
@@ -110,6 +130,7 @@ func NewServer(listen string, opt Options) (*Server, error) {
 	} else {
 		s.nowFn = s.tick.Load
 	}
+	s.registerMetrics(opt.Metrics)
 	s.wg.Add(1)
 	go s.serve()
 	return s, nil
@@ -120,10 +141,34 @@ func (s *Server) Addr() string { return s.addr }
 
 func (s *Server) ref() nodeRef { return nodeRef{id: s.id, addr: s.addr} }
 
-func (s *Server) logEvent(format string, args ...any) {
-	if s.logf != nil {
-		s.logf(format, args...)
+// logKV emits one structured operational log line: "event=<name>"
+// followed by the key=value pairs in the order given (stable per call
+// site, so a line's fields always appear in the same order). Values
+// containing spaces, quotes, or '=' are quoted. Nil logf is silent.
+func (s *Server) logKV(event string, kv ...any) {
+	if s.logf == nil {
+		return
 	}
+	var b strings.Builder
+	b.WriteString("event=")
+	b.WriteString(event)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprint(&b, kv[i])
+		b.WriteByte('=')
+		b.WriteString(kvValue(kv[i+1]))
+	}
+	s.logf("%s", b.String())
+}
+
+// kvValue renders one logKV value, quoting it when the bare rendering
+// would break key=value tokenization.
+func kvValue(v any) string {
+	str := fmt.Sprint(v)
+	if str == "" || strings.ContainsAny(str, " \t\n\"=") {
+		return strconv.Quote(str)
+	}
+	return str
 }
 
 // seed installs protocol state directly — the Cluster constructor's
@@ -134,6 +179,9 @@ func (s *Server) seed(pred nodeRef, succ []nodeRef, fingers [64]nodeRef) {
 	s.pred = pred
 	s.succ = append([]nodeRef(nil), succ...)
 	s.fingers = fingers
+	if len(succ) > 0 {
+		s.linked.Store(true)
+	}
 }
 
 // snapshotState returns a copy of the Chord state for local decisions;
@@ -161,6 +209,7 @@ func (s *Server) ensureStore() *store.Store {
 		return st
 	}
 	st := store.New()
+	s.m.instrumentStore(st)
 	s.SetApp(st)
 	return st
 }
@@ -227,8 +276,17 @@ func (s *Server) handleConn(c net.Conn) {
 
 // dispatch answers one framed request. Every request gets a reply —
 // the exchange discipline keeps one request/reply in flight per
-// connection, so framing never desynchronizes.
+// connection, so framing never desynchronizes. The metrics hooks meter
+// the request per tag (count, bytes, frame size, handling latency, and
+// typed-error replies); with metrics off they are nil-receiver no-ops.
 func (s *Server) dispatch(req []byte) []byte {
+	slot, tm := s.m.startRequest(req)
+	resp := s.handleRequest(req)
+	s.m.finishRequest(slot, resp, tm)
+	return resp
+}
+
+func (s *Server) handleRequest(req []byte) []byte {
 	if len(req) < 2 || req[0] != wire.Version {
 		return encodeErr(errnoBad, 0, 0)
 	}
@@ -517,6 +575,7 @@ func (s *Server) handleNotify(req []byte) []byte {
 			// predecessor and successor.
 			s.succ = []nodeRef{n}
 			s.fingers[0] = n
+			s.linked.Store(true)
 			changed = true
 		}
 	}
@@ -563,7 +622,16 @@ func (s *Server) pingRPC(addr string) error {
 // successor's predecessor when it slots in between, refresh the list
 // from the successor's, and notify. Returns the number of state
 // changes — zero means the round observed a quiescent neighborhood.
+// The wrapper meters the round's wall-clock duration and changes; both
+// the daemon ticker (maintenanceTick) and Cluster.Step come through it.
 func (s *Server) stabilizeRound() int {
+	tm := s.m.startRound(roundStabilize)
+	n := s.doStabilizeRound()
+	s.m.finishRound(roundStabilize, tm, n)
+	return n
+}
+
+func (s *Server) doStabilizeRound() int {
 	if !s.alive.Load() {
 		return 0
 	}
@@ -578,7 +646,7 @@ func (s *Server) stabilizeRound() int {
 		resp, err := s.neighborsRPC(sc.addr)
 		if err != nil {
 			changes++ // dead head discovered by timeout
-			s.logEvent("stabilize: successor %s unreachable: %v", sc.addr, err)
+			s.logKV("successor-unreachable", "successor", sc.addr, "err", err)
 			continue
 		}
 		head, nb = sc, resp
@@ -635,6 +703,13 @@ func (s *Server) stabilizeRound() int {
 // fixFingersRound refreshes FingersPerRound finger entries by routing
 // to each entry's target through the live network.
 func (s *Server) fixFingersRound() int {
+	tm := s.m.startRound(roundFixFingers)
+	n := s.doFixFingersRound()
+	s.m.finishRound(roundFixFingers, tm, n)
+	return n
+}
+
+func (s *Server) doFixFingersRound() int {
 	if !s.alive.Load() {
 		return 0
 	}
@@ -661,6 +736,13 @@ func (s *Server) fixFingersRound() int {
 // checkPredRound clears a predecessor that no longer answers pings, so
 // the next notify can repair it.
 func (s *Server) checkPredRound() int {
+	tm := s.m.startRound(roundCheckPred)
+	n := s.doCheckPredRound()
+	s.m.finishRound(roundCheckPred, tm, n)
+	return n
+}
+
+func (s *Server) doCheckPredRound() int {
 	if !s.alive.Load() {
 		return 0
 	}
@@ -678,7 +760,7 @@ func (s *Server) checkPredRound() int {
 		s.pred = nodeRef{}
 	}
 	s.mu.Unlock()
-	s.logEvent("check-predecessor: %s unreachable, cleared", pred.addr)
+	s.logKV("predecessor-cleared", "predecessor", pred.addr)
 	return 1
 }
 
@@ -766,7 +848,8 @@ func (s *Server) Join(bootstrap string) error {
 	if _, err := s.notifyRPC(succ0.addr, s.ref()); err != nil {
 		return fmt.Errorf("netdht: join: notify %s: %w", succ0.addr, err)
 	}
-	s.logEvent("joined ring via %s, successor %s", bootstrap, succ0.addr)
+	s.linked.Store(true)
+	s.logKV("joined", "bootstrap", bootstrap, "successor", succ0.addr)
 	return nil
 }
 
@@ -786,7 +869,7 @@ func (s *Server) Close() {
 	}
 	s.inMu.Unlock()
 	s.wg.Wait()
-	s.logEvent("server %s closed", s.addr)
+	s.logKV("server-closed", "addr", s.addr)
 }
 
 func containsRef(list []nodeRef, r nodeRef) bool {

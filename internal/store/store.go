@@ -32,6 +32,7 @@ import (
 	"sort"
 	"sync"
 
+	"dhsketch/internal/metrics"
 	"dhsketch/internal/obs"
 	"dhsketch/internal/sim"
 )
@@ -179,6 +180,30 @@ type Store struct {
 	// zero/nil for untraced stores.
 	owner uint64
 	env   *sim.Env
+
+	// rt holds optional runtime counters (Instrument). The zero value —
+	// all nil — is the metrics-off state: every update below is a method
+	// call on a nil instrument, which costs one branch and zero
+	// allocations (the BenchmarkProbeReply regression in store_test.go
+	// pins this). The counters are clock-free atomics, so instrumented
+	// simulation stores stay deterministic.
+	rt Runtime
+}
+
+// Runtime is the store's runtime-metrics hookup: operational counters
+// a deployment registry (internal/metrics) aggregates across the
+// node's lifetime. Any field may be nil; the zero value disables
+// everything.
+type Runtime struct {
+	// Sets counts Set calls (inserts and refreshes).
+	Sets *metrics.Counter
+	// Probes counts probe reads (AppendBitsWithBit / VectorsWithBit).
+	Probes *metrics.Counter
+	// Sweeps counts expiry-heap sweep passes (Len, Keys, Entries, Bytes).
+	Sweeps *metrics.Counter
+	// Expired counts tuples deleted by TTL garbage collection, on every
+	// GC path — heap sweeps and the collecting read paths alike.
+	Expired *metrics.Counter
 }
 
 // New returns an empty, untraced store.
@@ -194,11 +219,25 @@ func NewTraced(owner uint64, env *sim.Env) *Store {
 	return &Store{leaves: make(map[leafKey]*leaf), owner: owner, env: env}
 }
 
+// Instrument attaches runtime counters to the store. Call before the
+// store is shared across goroutines (the fields are read without
+// synchronization on the hot paths, relying on the attach-then-share
+// ordering the server's lazy store creation provides).
+func (s *Store) Instrument(rt Runtime) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rt = rt
+}
+
 // expire reports one garbage-collection sweep that deleted n expired
 // tuples as a single aggregate event: per-tuple emission would leak the
 // sweep's internal visit order into the trace.
 func (s *Store) expire(now int64, n int) {
-	if n == 0 || s.env == nil {
+	if n == 0 {
+		return
+	}
+	s.rt.Expired.Add(uint64(n))
+	if s.env == nil {
 		return
 	}
 	t := s.env.Tracer()
@@ -223,6 +262,7 @@ func (s *Store) leafOf(metric uint64, bit uint8) *leaf {
 func (s *Store) Set(k Key, expiry int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.rt.Sets.Inc()
 	lf := s.leafOf(k.Metric, k.Bit)
 	w := int(k.Vector) >> 6
 	mask := uint64(1) << (uint(k.Vector) & 63)
@@ -283,6 +323,7 @@ func (s *Store) AppendBitsWithBit(dst []uint64, metric uint64, bit uint8, now in
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.rt.Probes.Inc()
 	lf := s.leaves[leafKey{metric: metric, bit: bit}]
 	if lf == nil {
 		return dst
@@ -371,6 +412,7 @@ func (s *Store) Entries(now int64) []Entry {
 // refreshed to a later tick or already collected by a read path — cost
 // one pop each and delete nothing.
 func (s *Store) sweep(now int64) int {
+	s.rt.Sweeps.Inc()
 	expired := 0
 	for len(s.due) > 0 && s.due[0].at < now {
 		e := s.due.pop()

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"dhsketch/internal/metrics"
 	"dhsketch/internal/obs"
 	"dhsketch/internal/sim"
 )
@@ -278,6 +279,78 @@ func BenchmarkProbeReply(b *testing.B) {
 		}
 	}
 	_ = sink
+}
+
+// TestProbeReplyZeroAllocWithNilRuntime is the regression companion of
+// BenchmarkProbeReply for the runtime-metrics hookup (DESIGN.md §15):
+// an uninstrumented store — nil registry, so every Runtime counter is
+// nil — must keep the probe read path at exactly zero heap allocations.
+// The nil-receiver counter calls cost one branch each and nothing else.
+func TestProbeReplyZeroAllocWithNilRuntime(t *testing.T) {
+	s := New()
+	s.Instrument(Runtime{}) // explicit metrics-off state
+	for m := uint64(0); m < 8; m++ {
+		for i := 0; i < 40; i++ {
+			s.Set(Key{Metric: m, Vector: int32(i % 64), Bit: uint8(i % 16)}, 1<<60)
+		}
+	}
+	scratch := make([]uint64, 0, 1)
+	var sink int
+	n := testing.AllocsPerRun(200, func() {
+		scratch = s.AppendBitsWithBit(scratch, 3, 5, 100)
+		for _, w := range scratch {
+			sink += int(w & 1)
+		}
+	})
+	_ = sink
+	if n != 0 {
+		t.Errorf("probe reply with nil runtime counters allocated %.1f/op, want 0", n)
+	}
+}
+
+// TestRuntimeCounters exercises the instrumented paths end to end: sets,
+// probe reads, sweep passes, and expiry accounting across both GC
+// paths (heap sweep and collecting probe read).
+func TestRuntimeCounters(t *testing.T) {
+	r := metrics.New()
+	rt := Runtime{
+		Sets:    r.Counter("sets", ""),
+		Probes:  r.Counter("probes", ""),
+		Sweeps:  r.Counter("sweeps", ""),
+		Expired: r.Counter("expired", ""),
+	}
+	s := New()
+	s.Instrument(rt)
+
+	s.Set(Key{Metric: 1, Vector: 0, Bit: 0}, 10) // expires at 10
+	s.Set(Key{Metric: 1, Vector: 1, Bit: 0}, forever)
+	s.Set(Key{Metric: 1, Vector: 1, Bit: 0}, forever) // refresh counts too
+	if got := rt.Sets.Value(); got != 3 {
+		t.Errorf("Sets = %d, want 3", got)
+	}
+
+	// Probe read at now=50 garbage-collects the expired vector 0.
+	if vs := s.VectorsWithBit(1, 0, 50); len(vs) != 1 || vs[0] != 1 {
+		t.Fatalf("VectorsWithBit = %v, want [1]", vs)
+	}
+	if got := rt.Probes.Value(); got != 1 {
+		t.Errorf("Probes = %d, want 1", got)
+	}
+	if got := rt.Expired.Value(); got != 1 {
+		t.Errorf("Expired after probe GC = %d, want 1", got)
+	}
+
+	// A heap sweep pass: Len drains the due heap.
+	s.Set(Key{Metric: 2, Vector: 3, Bit: 1}, 60)
+	if n := s.Len(100); n != 1 {
+		t.Fatalf("Len(100) = %d, want 1", n)
+	}
+	if got := rt.Sweeps.Value(); got != 1 {
+		t.Errorf("Sweeps = %d, want 1", got)
+	}
+	if got := rt.Expired.Value(); got != 2 {
+		t.Errorf("Expired after sweep = %d, want 2", got)
+	}
 }
 
 // BenchmarkProbeReplyVectors is the allocating convenience variant, kept

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # smoke.sh — multi-process end-to-end smoke test of the netdht
-# deployment path: build dhsnode, start an N-process ring on loopback,
-# insert a known workload through one member, and require the counted
-# estimate to land within the estimator's error envelope.
+# deployment path: build dhsnode, start an N-process ring on loopback
+# with admin endpoints enabled, insert a known workload through one
+# member, require the counted estimate to land within the estimator's
+# error envelope, and scrape every node's /metrics and /healthz —
+# asserting the ring reports healthy and actually metered RPC traffic.
+# Scraped metrics land in $LOGDIR/metrics-*.prom (a CI artifact).
 #
 # This is the one test in the repository where separate OS processes
 # form a real Chord ring over TCP; everything the simulator cannot
@@ -69,13 +72,34 @@ wait_for_addr() {
     return 1
 }
 
-echo "== starting $NODES-node ring (dynamic ports)"
-"$BIN" serve -listen 127.0.0.1:0 -name node-0 >"$LOGDIR/node-0.log" 2>&1 &
+# wait_for_admin LOGFILE — same barrier for the "admin on ADDR" line.
+wait_for_admin() {
+    local logfile=$1 addr
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/.*admin on \([0-9.]*:[0-9]*\).*/\1/p' "$logfile" 2>/dev/null | head -n1)
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "== $logfile never reported an admin address" >&2
+    return 1
+}
+
+# metric_value FILE NAME_WITH_LABELS — print the sample value, 0 if the
+# series is absent.
+metric_value() {
+    awk -v name="$2" '$1 == name { print $2; found = 1 } END { if (!found) print 0 }' "$1"
+}
+
+echo "== starting $NODES-node ring (dynamic ports, admin endpoints on)"
+"$BIN" serve -listen 127.0.0.1:0 -admin 127.0.0.1:0 -name node-0 >"$LOGDIR/node-0.log" 2>&1 &
 PIDS+=($!)
 ENTRY=$(wait_for_addr "$LOGDIR/node-0.log")
 echo "== bootstrap $ENTRY"
 for i in $(seq 1 $((NODES - 1))); do
-    "$BIN" serve -listen 127.0.0.1:0 -join "$ENTRY" -name "node-$i" \
+    "$BIN" serve -listen 127.0.0.1:0 -admin 127.0.0.1:0 -join "$ENTRY" -name "node-$i" \
         >"$LOGDIR/node-$i.log" 2>&1 &
     PIDS+=($!)
 done
@@ -96,6 +120,55 @@ echo "== inserting $ITEMS items"
 
 echo "== counting (expect $ITEMS, tol $TOL)"
 "$BIN" count -entry "$ENTRY" -metric smoke -expect "$ITEMS" -tol "$TOL" | tee "$LOGDIR/count.log"
+
+echo "== scraping /healthz and /metrics on every node"
+for i in $(seq 0 $((NODES - 1))); do
+    ADMIN=$(wait_for_admin "$LOGDIR/node-$i.log")
+
+    health=$(curl -fsS --max-time 5 "http://$ADMIN/healthz")
+    if [ "$health" != "ok" ]; then
+        echo "== node-$i /healthz = '$health', want 'ok'" >&2
+        exit 1
+    fi
+
+    curl -fsS --max-time 5 "http://$ADMIN/metrics" >"$LOGDIR/metrics-node-$i.prom"
+
+    # Every node served routing traffic (insert/count lookups enter at
+    # the bootstrap, but find_succ hops and probes land ring-wide), and
+    # its ring gauges report a linked member with live successors.
+    rpc=$(metric_value "$LOGDIR/metrics-node-$i.prom" 'netdht_rpc_requests_total{tag="find_succ"}')
+    if [ "${rpc%.*}" -eq 0 ]; then
+        echo "== node-$i metered zero find_succ requests" >&2
+        exit 1
+    fi
+    succ=$(metric_value "$LOGDIR/metrics-node-$i.prom" 'netdht_successors')
+    if [ "${succ%.*}" -eq 0 ]; then
+        echo "== node-$i reports an empty successor list" >&2
+        exit 1
+    fi
+    echo "   node-$i healthy; find_succ=$rpc successors=$succ"
+done
+
+# The counting scan's probe RPCs land on the interval owners, spread
+# over the ring: the ring-wide total must be nonzero.
+probes=0
+for i in $(seq 0 $((NODES - 1))); do
+    p=$(metric_value "$LOGDIR/metrics-node-$i.prom" 'netdht_rpc_requests_total{tag="probe"}')
+    probes=$((probes + ${p%.*}))
+done
+if [ "$probes" -eq 0 ]; then
+    echo "== ring metered zero probe requests" >&2
+    exit 1
+fi
+echo "   ring-wide probe requests: $probes"
+
+echo "== dhsnode status against the bootstrap"
+ADMIN0=$(wait_for_admin "$LOGDIR/node-0.log")
+"$BIN" status "$ADMIN0" | tee "$LOGDIR/status.log"
+grep -q 'health ok=true' "$LOGDIR/status.log" || {
+    echo "== dhsnode status did not report a healthy node" >&2
+    exit 1
+}
 
 echo "== clean shutdown"
 for pid in "${PIDS[@]}"; do
