@@ -1,0 +1,234 @@
+// Command dhsload is a closed-loop load generator for the dhsd query
+// frontend: a fixed set of workers each issue GET /count requests
+// back-to-back (no open-loop arrival process), with metric popularity
+// drawn from a Zipf distribution so a hot head exercises the cache and
+// coalescing layers while a long tail forces real ring fan-outs — the
+// access pattern DESIGN.md §16 sizes the frontend for.
+//
+//	dhsload -target http://127.0.0.1:8080 -concurrency 16 -duration 10s
+//
+// The run warms up for -warmup (samples discarded), then measures
+// sustained throughput and latency. The report — qps, p50/p99/p999,
+// error and shed counts, and the X-Dhs-Source serving-provenance mix —
+// prints human-readable by default or as one JSON object with -json
+// (the shape scripts/smoke.sh and the bench pipeline consume).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// workerStats is one worker's private tally; workers never share
+// mutable state while the clock runs, so the hot loop takes no locks.
+type workerStats struct {
+	latencies []time.Duration // post-warmup successful requests
+	requests  int
+	errors    int
+	shed      int
+	degraded  int
+	sources   [3]int // direct, cache, coalesced
+}
+
+var sourceNames = [3]string{"direct", "cache", "coalesced"}
+
+func sourceIndex(s string) int {
+	for i, n := range sourceNames {
+		if s == n {
+			return i
+		}
+	}
+	return 0
+}
+
+// Report is dhsload's machine-readable result document.
+type Report struct {
+	Target      string  `json:"target"`
+	Concurrency int     `json:"concurrency"`
+	Metrics     int     `json:"metrics"`
+	ZipfS       float64 `json:"zipf_s"`
+	DurationSec float64 `json:"duration_seconds"`
+
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Shed     int     `json:"shed"`
+	Degraded int     `json:"degraded"`
+	QPS      float64 `json:"qps"`
+
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+
+	Sources map[string]int `json:"sources"`
+}
+
+func main() {
+	log.SetFlags(0)
+	fs := flag.NewFlagSet("dhsload", flag.ExitOnError)
+	target := fs.String("target", "http://127.0.0.1:8080", "dhsd base URL")
+	concurrency := fs.Int("concurrency", 8, "closed-loop workers")
+	duration := fs.Duration("duration", 5*time.Second, "measured run length (after warmup)")
+	warmup := fs.Duration("warmup", 500*time.Millisecond, "ramp time whose samples are discarded")
+	nMetrics := fs.Int("metrics", 16, "distinct metric names to query")
+	prefix := fs.String("prefix", "demo", "metric name prefix (names are <prefix>-<i>; -metrics 1 uses <prefix> alone)")
+	zipfS := fs.Float64("zipf-s", 1.2, "Zipf skew s > 1 of metric popularity (rank 0 hottest)")
+	seed := fs.Uint64("seed", 1, "popularity-draw randomness seed")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+	jsonOut := fs.Bool("json", false, "emit the report as one JSON object on stdout")
+	fs.Parse(os.Args[1:])
+
+	names := make([]string, *nMetrics)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-%d", *prefix, i)
+	}
+	if *nMetrics == 1 {
+		names[0] = *prefix
+	}
+
+	hc := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * *concurrency,
+			MaxIdleConnsPerHost: 2 * *concurrency,
+		},
+	}
+
+	// One probe before unleashing the fleet: fail fast on a bad target.
+	if resp, err := hc.Get(*target + "/count?metric=" + names[0]); err != nil {
+		log.Fatalf("dhsload: target unreachable: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	start := time.Now()
+	measureFrom := start.Add(*warmup)
+	deadline := measureFrom.Add(*duration)
+	stats := make([]workerStats, *concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker RNG: deterministic draws, no shared state.
+			rng := rand.New(rand.NewPCG(*seed, uint64(w)+0x9e3779b97f4a7c15))
+			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(names)-1))
+			st := &stats[w]
+			for {
+				issued := time.Now()
+				if issued.After(deadline) {
+					return
+				}
+				name := names[zipf.Uint64()]
+				resp, err := hc.Get(*target + "/count?metric=" + name)
+				done := time.Now()
+				if done.Before(measureFrom) {
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					continue // warmup sample: discard
+				}
+				st.requests++
+				if err != nil {
+					st.errors++
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					st.latencies = append(st.latencies, done.Sub(issued))
+					st.sources[sourceIndex(resp.Header.Get("X-Dhs-Source"))]++
+					var cr struct {
+						Degraded bool `json:"degraded"`
+					}
+					if json.Unmarshal(body, &cr) == nil && cr.Degraded {
+						st.degraded++
+					}
+				case http.StatusTooManyRequests:
+					st.shed++
+				default:
+					st.errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(measureFrom)
+	if elapsed > *duration {
+		elapsed = *duration
+	}
+
+	rep := Report{
+		Target:      *target,
+		Concurrency: *concurrency,
+		Metrics:     *nMetrics,
+		ZipfS:       *zipfS,
+		DurationSec: elapsed.Seconds(),
+		Sources:     map[string]int{},
+	}
+	var all []time.Duration
+	for i := range stats {
+		st := &stats[i]
+		rep.Requests += st.requests
+		rep.Errors += st.errors
+		rep.Shed += st.shed
+		rep.Degraded += st.degraded
+		for s, n := range st.sources {
+			if n > 0 {
+				rep.Sources[sourceNames[s]] += n
+			}
+		}
+		all = append(all, st.latencies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.P50Ms = percentileMs(all, 0.50)
+	rep.P99Ms = percentileMs(all, 0.99)
+	rep.P999Ms = percentileMs(all, 0.999)
+	if elapsed > 0 {
+		rep.QPS = float64(len(all)) / elapsed.Seconds()
+	}
+
+	if *jsonOut {
+		b, err := json.Marshal(rep)
+		if err != nil {
+			log.Fatalf("dhsload: encode report: %v", err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	} else {
+		fmt.Printf("target=%s concurrency=%d metrics=%d zipf_s=%.2f measured=%.2fs\n",
+			rep.Target, rep.Concurrency, rep.Metrics, rep.ZipfS, rep.DurationSec)
+		fmt.Printf("requests=%d ok=%d errors=%d shed=%d degraded=%d\n",
+			rep.Requests, len(all), rep.Errors, rep.Shed, rep.Degraded)
+		fmt.Printf("qps=%.0f p50=%.2fms p99=%.2fms p999=%.2fms\n",
+			rep.QPS, rep.P50Ms, rep.P99Ms, rep.P999Ms)
+		fmt.Printf("sources direct=%d cache=%d coalesced=%d\n",
+			rep.Sources["direct"], rep.Sources["cache"], rep.Sources["coalesced"])
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// percentileMs reads the p-quantile from a sorted latency slice, in
+// milliseconds (nearest-rank; 0 for an empty run).
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -175,6 +175,7 @@ func runCount(args []string) {
 	metric := fs.String("metric", "demo", "metric name")
 	expect := fs.Float64("expect", 0, "true cardinality to check against (0: report only)")
 	tol := fs.Float64("tol", 0.35, "maximum relative error accepted with -expect")
+	jsonOut := fs.Bool("json", false, "emit the CountResult as one JSON object on stdout (machine-readable)")
 	cc := clientFlags(fs)
 	fs.Parse(args)
 
@@ -184,6 +185,27 @@ func runCount(args []string) {
 	res, err := c.Count(core.MetricID(*metric))
 	if err != nil {
 		log.Fatalf("count: %v", err)
+	}
+	if *jsonOut {
+		// The exact bytes dhsd serves for this metric: the canonical
+		// CountResult encoding, nothing merged in.
+		b, err := json.Marshal(res)
+		if err != nil {
+			log.Fatalf("count: encode: %v", err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+		if *expect > 0 {
+			re := res.Estimate / *expect
+			if re > 1 {
+				re = re - 1
+			} else {
+				re = 1 - re
+			}
+			if re > *tol {
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	fmt.Printf("metric=%q estimate=%.0f probes=%d failed=%d skipped=%d degraded=%v elapsed=%v\n",
 		*metric, res.Estimate, res.ProbesAttempted, res.ProbesFailed, res.IntervalsSkipped,

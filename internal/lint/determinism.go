@@ -28,22 +28,28 @@ import (
 // Legitimate wall-clock sites (e.g. cmd/dhsbench's elapsed-time display)
 // carry a //dhslint:allow determinism(reason) annotation.
 //
-// The real-network packages are excluded wholesale: internal/netdht and
-// cmd/dhsnode exist precisely to run the protocol against wall-clock
-// timers, socket deadlines, and nondeterministic interleavings
-// (DESIGN.md §14), and internal/metrics is their wall-clock
-// observability layer (DESIGN.md §15) — its latency Timer reads the
-// monotonic clock by design. The determinism boundary is architectural:
-// the simulator-facing Cluster flavor still schedules off sim.Clock and
-// simulation code keeps using internal/obs, so a per-line allowlist in
-// these packages would be all noise and no signal.
+// The real-network packages are excluded wholesale: internal/netdht,
+// cmd/dhsnode, and the serving tier over them — internal/serve (TTL
+// caches and queue deadlines are real time, DESIGN.md §16), cmd/dhsd,
+// and cmd/dhsload (a wall-clock latency meter) — exist precisely to run
+// against wall-clock timers, socket deadlines, and nondeterministic
+// interleavings (DESIGN.md §14), and internal/metrics is their
+// wall-clock observability layer (DESIGN.md §15) — its latency Timer
+// reads the monotonic clock by design. The determinism boundary is
+// architectural: the simulator-facing Cluster flavor still schedules
+// off sim.Clock and simulation code keeps using internal/obs, so a
+// per-line allowlist in these packages would be all noise and no
+// signal.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock time and process-global or unseeded randomness",
 	Match: func(pkgPath string) bool {
 		return !pathHasSuffix(pkgPath, "internal/netdht") &&
 			!pathHasSuffix(pkgPath, "cmd/dhsnode") &&
-			!pathHasSuffix(pkgPath, "internal/metrics")
+			!pathHasSuffix(pkgPath, "internal/metrics") &&
+			!pathHasSuffix(pkgPath, "internal/serve") &&
+			!pathHasSuffix(pkgPath, "cmd/dhsd") &&
+			!pathHasSuffix(pkgPath, "cmd/dhsload")
 	},
 	Run: runDeterminism,
 }

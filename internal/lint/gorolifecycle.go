@@ -27,6 +27,7 @@ var GoroLifecycleAnalyzer = &Analyzer{
 	Doc:  "require every spawned goroutine to be WaitGroup-joined or tied to a shutdown channel",
 	Match: func(pkgPath string) bool {
 		return pathHasSuffix(pkgPath, "internal/netdht") ||
+			pathHasSuffix(pkgPath, "internal/serve") ||
 			strings.Contains(pkgPath, "/cmd/") || strings.HasPrefix(pkgPath, "cmd/")
 	},
 	FactsRun: runGoroFacts,

@@ -121,10 +121,15 @@ func TestMatchScopes(t *testing.T) {
 		{lint.ConnDeadlineAnalyzer, "dhsketch/internal/netdht", true},
 		{lint.ConnDeadlineAnalyzer, "dhsketch/internal/wire", false},
 		{lint.LockRPCAnalyzer, "dhsketch/internal/netdht", true},
+		{lint.LockRPCAnalyzer, "dhsketch/internal/serve", true},
 		{lint.LockRPCAnalyzer, "dhsketch/cmd/dhsnode", true},
+		{lint.LockRPCAnalyzer, "dhsketch/cmd/dhsd", true},
 		{lint.LockRPCAnalyzer, "dhsketch/internal/obs", false},
 		{lint.GoroLifecycleAnalyzer, "dhsketch/internal/netdht", true},
+		{lint.GoroLifecycleAnalyzer, "dhsketch/internal/serve", true},
 		{lint.GoroLifecycleAnalyzer, "dhsketch/cmd/dhsbench", true},
+		{lint.GoroLifecycleAnalyzer, "dhsketch/cmd/dhsd", true},
+		{lint.GoroLifecycleAnalyzer, "dhsketch/cmd/dhsload", true},
 		{lint.GoroLifecycleAnalyzer, "dhsketch/internal/runner", false},
 		{lint.WireBoundsAnalyzer, "dhsketch/internal/wire", true},
 		{lint.WireBoundsAnalyzer, "dhsketch/internal/netdht", true},
@@ -150,6 +155,9 @@ func TestMatchScopes(t *testing.T) {
 		"dhsketch/internal/netdht":  false,
 		"dhsketch/cmd/dhsnode":      false,
 		"dhsketch/internal/metrics": false,
+		"dhsketch/internal/serve":   false,
+		"dhsketch/cmd/dhsd":         false,
+		"dhsketch/cmd/dhsload":      false,
 		"dhsketch/internal/store":   true,
 		"dhsketch/internal/core":    true,
 	} {

@@ -33,7 +33,9 @@ var LockRPCAnalyzer = &Analyzer{
 	Doc:  "forbid network I/O while holding a sync.Mutex/RWMutex acquired in the enclosing function",
 	Match: func(pkgPath string) bool {
 		return pathHasSuffix(pkgPath, "internal/netdht") ||
-			pathHasSuffix(pkgPath, "cmd/dhsnode")
+			pathHasSuffix(pkgPath, "internal/serve") ||
+			pathHasSuffix(pkgPath, "cmd/dhsnode") ||
+			pathHasSuffix(pkgPath, "cmd/dhsd")
 	},
 	FactsRun: runNetIOFacts,
 	Run:      runLockRPC,

@@ -124,3 +124,52 @@ func (s *server) badAdminWatcher(hs *adminSrv) {
 		hs.Close()
 	}()
 }
+
+// ---------------------------------------------------------------------
+// dhsd shapes: a worker fleet launched in a loop, and request handlers
+// that spawn per-query goroutines.
+
+// goodWorkerFleet mirrors cmd/dhsload's closed-loop workers: Add inside
+// the loop, before each launch, every body Doneing.
+func (s *server) goodWorkerFleet(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go func(i int) {
+			defer s.wg.Done()
+			s.helper()
+		}(i)
+	}
+}
+
+// badWorkerFleet launches the fleet untracked: main can exit while
+// workers still hold sockets.
+func (s *server) badWorkerFleet(n int) {
+	for i := 0; i < n; i++ {
+		go func() { s.helper() }() // want `fire-and-forget`
+	}
+}
+
+// goodQueueDrainer is the admission-queue shape: a drainer goroutine
+// that selects between work and the quit channel.
+func (s *server) goodQueueDrainer(queue chan int) {
+	go func() {
+		for {
+			select {
+			case <-queue:
+				s.helper()
+			case <-s.quit:
+				return
+			}
+		}
+	}()
+}
+
+// badQueueDrainer drains the queue forever with no shutdown tie: the
+// goroutine leaks past Close, pinning the queue channel.
+func (s *server) badQueueDrainer(queue chan int) {
+	go func() { // want `fire-and-forget`
+		for range queue {
+			s.helper()
+		}
+	}()
+}

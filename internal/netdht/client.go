@@ -8,6 +8,7 @@ import (
 
 	"dhsketch/internal/dht"
 	"dhsketch/internal/hashutil"
+	"dhsketch/internal/metrics"
 	"dhsketch/internal/sim"
 	"dhsketch/internal/sketch"
 	"dhsketch/internal/wire"
@@ -46,7 +47,28 @@ type ClientConfig struct {
 	Backoff     time.Duration
 	DialTimeout time.Duration
 	RPCTimeout  time.Duration
+
+	// PeerConns is the outbound connection-pool width per peer address —
+	// the number of RPC exchanges that can be in flight toward one peer
+	// at once. Zero means DefaultPeerConns.
+	PeerConns int
+	// ProbeParallel bounds how many of an interval's Lim probe attempts
+	// run concurrently during Count. Zero means DefaultProbeParallel;
+	// 1 restores the fully sequential Algorithm-1 scan.
+	ProbeParallel int
+
+	// Metrics, when non-nil, instruments the client's outbound RPC
+	// pool (per-tag latency, errno counters, dial/redial/retry counts,
+	// open-socket gauge) — the same instruments a Server's outbound
+	// side registers. Nil keeps every hook a one-branch no-op.
+	Metrics *metrics.Registry
 }
+
+// DefaultProbeParallel is the per-interval probe concurrency of the
+// counting scan. The interval's Lim attempts are independent uniform
+// probes, so running them concurrently changes neither the estimate
+// nor the accounting — only the wall-clock latency of a pass.
+const DefaultProbeParallel = 4
 
 func (c ClientConfig) withDefaults() ClientConfig {
 	if c.K == 0 {
@@ -60,6 +82,12 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	}
 	if c.Retries == 0 {
 		c.Retries = 3
+	}
+	if c.PeerConns == 0 {
+		c.PeerConns = DefaultPeerConns
+	}
+	if c.ProbeParallel == 0 {
+		c.ProbeParallel = DefaultProbeParallel
 	}
 	return c
 }
@@ -99,12 +127,18 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if logM >= cfg.K {
 		return nil, fmt.Errorf("netdht: log2(m) = %d leaves no bitmap bits of k = %d", logM, cfg.K)
 	}
-	return &Client{
+	c := &Client{
 		cfg:    cfg,
 		maxBit: cfg.K - logM,
-		peers:  newPeerPool(cfg.DialTimeout, cfg.RPCTimeout),
+		peers:  newPeerPool(cfg.DialTimeout, cfg.RPCTimeout, cfg.PeerConns),
 		rng:    rand.New(rand.NewPCG(cfg.Seed, 0x6a09e667f3bcc908)),
-	}, nil
+	}
+	if cfg.Metrics != nil {
+		c.peers.m = newPoolMetrics(cfg.Metrics)
+		cfg.Metrics.GaugeFunc("netdht_peer_conns", "cached outbound peer connections",
+			func() float64 { return float64(c.peers.size()) })
+	}
+	return c, nil
 }
 
 // Close releases the client's connections.
@@ -190,21 +224,25 @@ func (c *Client) Insert(metric, itemID uint64) error {
 }
 
 // CountResult is one counting pass's outcome with its failure
-// accounting — the networked analogue of core.Estimate's Quality.
+// accounting — the networked analogue of core.Estimate's Quality. The
+// JSON field names are an API surface: `dhsnode count -json`, the dhsd
+// /count response body, and dhsload's CI assertions all marshal this
+// struct, and the serving layer's byte-identity contract (DESIGN.md
+// §16) is defined over exactly this encoding.
 type CountResult struct {
-	Estimate float64
+	Estimate float64 `json:"estimate"`
 	// ProbesAttempted and ProbesFailed count probe-budget spending,
 	// including failed lookups; IntervalsSkipped counts bit positions
 	// where no node could be probed at all.
-	ProbesAttempted  int
-	ProbesFailed     int
-	IntervalsSkipped int
+	ProbesAttempted  int `json:"probes_attempted"`
+	ProbesFailed     int `json:"probes_failed"`
+	IntervalsSkipped int `json:"intervals_skipped"`
 	// Degraded reports that the scan lost information — probes failed
 	// or whole intervals went unprobed — so the estimate rests on less
 	// evidence than a clean pass would gather. The count subcommand
 	// surfaces it so operators can tell a healthy estimate from one
 	// taken during churn.
-	Degraded bool
+	Degraded bool `json:"degraded"`
 }
 
 // finish derives the summary flags from the accumulated accounting.
@@ -216,9 +254,13 @@ func (r *CountResult) finish() {
 // descending through the bit intervals for the LogLog estimator family
 // (first set bit per vector is its maximum), ascending for PCSA (first
 // position with no set bit is the vector's leftmost zero). Each
-// interval gets up to Lim probe attempts at fresh uniform targets;
-// owners already probed within an interval are not probed again but
-// still spend budget, mirroring the simulator's duplicate-visit cost.
+// interval gets up to Lim probe attempts at fresh uniform targets, run
+// up to ProbeParallel at a time; owners already probed within an
+// interval are not probed again but still spend budget, mirroring the
+// simulator's duplicate-visit cost. Count is safe for concurrent use
+// by many goroutines sharing one Client — each call carries its own
+// scan state, and the peer pool multiplexes exchanges over PeerConns
+// sockets per peer.
 func (c *Client) Count(metric uint64) (CountResult, error) {
 	m := c.cfg.M
 	R := make([]int, m)
@@ -230,43 +272,82 @@ func (c *Client) Count(metric uint64) (CountResult, error) {
 
 	// probeInterval probes bit's interval and invokes onMask for every
 	// successful probe's vector mask; it reports whether any probe
-	// succeeded.
+	// succeeded. The interval's Lim attempts are independent uniform
+	// draws, so they run concurrently (bounded by ProbeParallel); mu
+	// serializes the shared accounting, the visited set, and every
+	// onMask invocation, so callers' closures see one probe at a time.
+	var mu sync.Mutex
 	probeInterval := func(bit uint, onMask func(mask []byte)) bool {
 		visited := make(map[uint64]bool)
-		ok := false
-		for attempt := 0; attempt < c.cfg.Lim; attempt++ {
+		anyOK := false
+		attempt := func() {
+			mu.Lock()
 			res.ProbesAttempted++
+			mu.Unlock()
 			owner, err := c.findOwner(c.randomTarget(bit))
 			if err != nil {
+				mu.Lock()
 				res.ProbesFailed++
-				continue
+				mu.Unlock()
+				return
 			}
+			mu.Lock()
 			if visited[owner.id] {
-				continue
+				mu.Unlock()
+				return
 			}
 			visited[owner.id] = true
+			mu.Unlock()
 			req, err := wire.EncodeProbeReq(wire.ProbeReq{
 				Bit:     uint8(bit),
 				NumVecs: uint16(m),
 				Metrics: []uint64{metric},
 			})
 			if err != nil {
-				return ok // static geometry can't overflow; defensive
+				return // static geometry can't overflow; defensive
 			}
 			raw, err := c.peers.exchangeRetry(owner.addr, req, c.cfg.Retries, c.cfg.Backoff)
 			if err != nil {
+				mu.Lock()
 				res.ProbesFailed++
-				continue
+				mu.Unlock()
+				return
 			}
 			resp, err := wire.DecodeProbeResp(raw)
 			if err != nil || len(resp.VecMasks) != 1 {
+				mu.Lock()
 				res.ProbesFailed++
-				continue
+				mu.Unlock()
+				return
 			}
-			ok = true
+			mu.Lock()
+			anyOK = true
 			onMask(resp.VecMasks[0])
+			mu.Unlock()
 		}
-		return ok
+		par := c.cfg.ProbeParallel
+		if par > c.cfg.Lim {
+			par = c.cfg.Lim
+		}
+		if par <= 1 {
+			for i := 0; i < c.cfg.Lim; i++ {
+				attempt()
+			}
+			return anyOK
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, par)
+		for i := 0; i < c.cfg.Lim; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				attempt()
+			}()
+		}
+		wg.Wait()
+		return anyOK
 	}
 
 	if c.cfg.Kind == sketch.KindPCSA {

@@ -371,9 +371,8 @@ func (s *Server) registerMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(s.counters.Snapshot().StoreOps) }, metrics.L("op", "store_ops"))
 }
 
-// size reports the number of cached peer connections (scrape gauge).
+// size reports the number of open outbound sockets (scrape gauge).
+// Lock-free: a scrape never queues behind an in-flight exchange.
 func (p *peerPool) size() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.conns)
+	return int(p.live.Load())
 }

